@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark: the restarted GMRES solver used as the inner
+//! sequential solver of the multi-splitting Newton method.
+
+use aiac_linalg::banded::BandedSpec;
+use aiac_linalg::gmres::{Gmres, GmresParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_gmres(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmres");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let spec = BandedSpec::paper(n, 3);
+        let a = spec.generate();
+        let (_, b) = spec.generate_rhs(&a);
+        for &restart in &[10usize, 30] {
+            let gmres = Gmres::new(GmresParams {
+                restart,
+                tol: 1e-8,
+                abs_tol: 1e-12,
+                max_restarts: 500,
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("restart{restart}")),
+                &restart,
+                |bench, _| {
+                    bench.iter(|| {
+                        let (x, outcome) = gmres.solve_from_zero(black_box(&a), black_box(&b));
+                        assert!(outcome.converged);
+                        black_box(x)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gmres);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark: throughput of the discrete-event grid simulation
+//! itself (how much host wall-clock time one simulated AIAC run costs), plus
+//! the network transfer model in isolation.
+
+use aiac_core::config::RunConfig;
+use aiac_core::runtime::simulated::SimulatedRuntime;
+use aiac_envs::env::EnvKind;
+use aiac_envs::threads::ProblemKind;
+use aiac_netsim::host::HostId;
+use aiac_netsim::network::Network;
+use aiac_netsim::time::SimTime;
+use aiac_netsim::topology::GridTopology;
+use aiac_solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_network_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_simulation");
+    group.sample_size(20);
+
+    group.bench_function("network_10k_transfers", |b| {
+        let topo = GridTopology::ethernet_adsl_4_sites(16);
+        b.iter(|| {
+            let mut net = Network::new(topo.clone());
+            let mut last = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                let src = HostId((i % 16) as usize);
+                let dst = HostId(((i + 3) % 16) as usize);
+                last = net.transfer(src, dst, 4_096, 128, last);
+            }
+            black_box(last)
+        });
+    });
+
+    group.bench_function("simulated_aiac_run_8_procs", |b| {
+        let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(1_600, 8));
+        let topo = GridTopology::ethernet_3_sites(8);
+        let config = RunConfig::asynchronous(1e-6).with_streak(3);
+        b.iter(|| {
+            let runtime = SimulatedRuntime::new(topo.clone(), EnvKind::Pm2, ProblemKind::SparseLinear);
+            black_box(runtime.run(&problem, &config).report.elapsed_secs)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_model);
+criterion_main!(benches);

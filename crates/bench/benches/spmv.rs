@@ -1,0 +1,27 @@
+//! Criterion micro-benchmark: sparse matrix-vector product on the paper's two
+//! sparsity patterns (contiguous band versus 30 scattered sub-diagonals).
+
+use aiac_linalg::banded::{BandedSpec, ScatteredDiagonalsSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(20);
+    for &n in &[2_000usize, 10_000, 40_000] {
+        let banded = BandedSpec::paper(n, 1).generate();
+        let scattered = ScatteredDiagonalsSpec::paper(n, 1).generate();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("contiguous_band", n), &n, |b, _| {
+            b.iter(|| banded.spmv(black_box(&x), black_box(&mut y)));
+        });
+        group.bench_with_input(BenchmarkId::new("scattered_diagonals", n), &n, |b, _| {
+            b.iter(|| scattered.spmv(black_box(&x), black_box(&mut y)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmark: synchronous versus asynchronous execution on the
+//! *real* threaded runtime (wall-clock time on the build machine).
+//!
+//! This is the multicore analogue of the paper's grid experiments: the same
+//! sparse linear problem is solved with the SISC barrier-per-iteration scheme
+//! and with the AIAC free-running scheme. The asynchronous version is
+//! expected to win whenever the per-block work is unbalanced or the machine
+//! is loaded, and at worst to tie.
+
+use aiac_core::config::RunConfig;
+use aiac_core::runtime::threaded::ThreadedRuntime;
+use aiac_solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_threaded_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_sync_vs_async");
+    group.sample_size(10);
+    let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(2_000, 4));
+    let runtime = ThreadedRuntime::new();
+
+    group.bench_function("sisc_sync", |b| {
+        let config = RunConfig::synchronous(1e-8);
+        b.iter(|| black_box(runtime.run(&problem, &config)));
+    });
+    group.bench_function("aiac_async", |b| {
+        let config = RunConfig::asynchronous(1e-8).with_streak(3);
+        b.iter(|| black_box(runtime.run(&problem, &config)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threaded_modes);
+criterion_main!(benches);

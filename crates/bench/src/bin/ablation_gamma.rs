@@ -1,0 +1,33 @@
+//! Ablation: effect of the fixed step γ of the gradient descent.
+//!
+//! Section 4.1 notes that γ "must be conveniently chosen (around 1) to
+//! accelerate the convergence" and that γ = 1 recovers the Jacobi method.
+//! This ablation sweeps γ on the sparse linear problem (sequential reference
+//! runtime, so only the iteration count matters) and reports the number of
+//! iterations to convergence and the final error.
+
+use aiac_core::config::RunConfig;
+use aiac_core::runtime::sequential::SequentialRuntime;
+use aiac_solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
+
+fn main() {
+    println!("Ablation - fixed step gamma of the gradient descent (sequential runtime)");
+    println!(
+        "{:>8}  {:>12}  {:>14}  {:>10}",
+        "gamma", "iterations", "error vs exact", "converged"
+    );
+    for &gamma in &[0.4, 0.6, 0.8, 1.0, 1.1, 1.2] {
+        let mut params = SparseLinearParams::paper_scaled(2_000, 8);
+        params.gamma = gamma;
+        let problem = SparseLinearProblem::new(params);
+        let config = RunConfig::synchronous(1e-9).with_max_iterations(5_000);
+        let report = SequentialRuntime::new().run(&problem, &config);
+        println!(
+            "{:>8.2}  {:>12}  {:>14.2e}  {:>10}",
+            gamma,
+            report.iterations[0],
+            problem.error_of(&report.solution),
+            report.converged
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation: sensitivity of the environment comparison to the per-message
+//! overhead model.
+//!
+//! The paper attributes the (small) differences between the three
+//! asynchronous environments to their communication overheads and thread
+//! management. This ablation re-runs the Table 2 experiment while scaling the
+//! message payload (and hence the relative weight of the per-message fixed
+//! costs) by decomposing the same matrix over fewer or more processors, and
+//! prints how the environment ranking evolves — the paper's prediction is
+//! that coarser grains (more data per processor) shrink the differences.
+
+use aiac_bench::experiments::sparse_experiment;
+use aiac_bench::scale::ExperimentScale;
+use aiac_envs::env::EnvKind;
+use aiac_netsim::topology::GridTopology;
+use aiac_solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("{}", scale.describe());
+    println!("Ablation - environment spread versus decomposition grain (sparse linear problem)");
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>16}  {:>10}",
+        "processors", "async PM2 (s)", "async MPI/Mad", "async OmniORB 4", "spread %"
+    );
+    for &blocks in &[6usize, 12, 24] {
+        let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(
+            scale.sparse_n,
+            blocks,
+        ));
+        let topology = GridTopology::ethernet_3_sites(blocks);
+        let mut times = Vec::new();
+        for env in EnvKind::ASYNC {
+            let report = sparse_experiment(&problem, &topology, env, scale.epsilon, scale.streak);
+            times.push(report.elapsed_secs);
+        }
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:>10}  {:>14.1}  {:>14.1}  {:>16.1}  {:>9.1}%",
+            blocks,
+            times[0],
+            times[1],
+            times[2],
+            (max - min) / min * 100.0
+        );
+    }
+}

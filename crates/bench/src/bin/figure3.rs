@@ -1,0 +1,73 @@
+//! Regenerates Figure 3: execution time of the non-linear problem on the
+//! local heterogeneous cluster as a function of the number of processors
+//! (10 to 40 machines, Duron 800 / P4 1.7 / P4 2.4 interleaved, 100 Mb
+//! Ethernet), for the synchronous MPI version and the three asynchronous
+//! versions.
+//!
+//! Prints one line per processor count with the four execution times, i.e.
+//! the data series of the figure (the paper plots them on a log scale).
+
+use aiac_bench::experiments::chemical_experiment;
+use aiac_bench::scale::ExperimentScale;
+use aiac_envs::env::EnvKind;
+use aiac_netsim::topology::GridTopology;
+use aiac_solvers::chemical::ChemicalParams;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SeriesPoint {
+    processors: usize,
+    sync_mpi: f64,
+    async_pm2: f64,
+    async_mpi_mad: f64,
+    async_omniorb: f64,
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("{}", scale.describe());
+
+    let mut series = Vec::new();
+    for &n in &scale.fig3_processors {
+        let mut params = ChemicalParams::paper_scaled(scale.fig3_grid, scale.fig3_grid, n);
+        params.t_end = scale.fig3_t_end;
+        params.epsilon = scale.epsilon;
+        let topology = GridTopology::local_hetero_cluster(n);
+
+        let mut times = std::collections::BTreeMap::new();
+        for env in EnvKind::ALL {
+            let result = chemical_experiment(&params, &topology, env, scale.streak);
+            eprintln!(
+                "{n:>2} processors / {}: {:.1} s (converged: {})",
+                env.label(),
+                result.time_secs,
+                result.converged
+            );
+            times.insert(env.label().to_string(), result.time_secs);
+        }
+        series.push(SeriesPoint {
+            processors: n,
+            sync_mpi: times[EnvKind::MpiSync.label()],
+            async_pm2: times[EnvKind::Pm2.label()],
+            async_mpi_mad: times[EnvKind::MpiMadeleine.label()],
+            async_omniorb: times[EnvKind::OmniOrb.label()],
+        });
+    }
+
+    println!("Figure 3 - Execution times (virtual seconds) on the local heterogeneous cluster");
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>14}  {:>14}",
+        "processors", "sync MPI", "async PM2", "async MPI/Mad", "async OmniORB"
+    );
+    for p in &series {
+        println!(
+            "{:>10}  {:>12.1}  {:>12.1}  {:>14.1}  {:>14.1}",
+            p.processors, p.sync_mpi, p.async_pm2, p.async_mpi_mad, p.async_omniorb
+        );
+    }
+    println!();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&series).expect("series serialise to JSON")
+    );
+}

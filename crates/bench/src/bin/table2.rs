@@ -1,0 +1,75 @@
+//! Regenerates Table 2: execution times for the sparse linear problem on the
+//! distant heterogeneous grid (three sites over 10 Mb Ethernet).
+//!
+//! Four versions are compared, exactly as in the paper: the synchronous MPI
+//! baseline and the asynchronous AIAC implementations over the PM2,
+//! MPICH/Madeleine and OmniORB 4 environment models. Speed ratios are
+//! computed against the synchronous run.
+
+use aiac_bench::experiments::sparse_experiment;
+use aiac_bench::scale::ExperimentScale;
+use aiac_bench::table::{render_table, TableRow};
+use aiac_envs::env::EnvKind;
+use aiac_netsim::topology::GridTopology;
+use aiac_solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("{}", scale.describe());
+    eprintln!("generating the sparse matrix ({} unknowns)...", scale.sparse_n);
+    let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(
+        scale.sparse_n,
+        scale.sparse_blocks,
+    ));
+    let topology = GridTopology::ethernet_3_sites(scale.sparse_blocks);
+
+    let mut rows = Vec::new();
+    let sync = sparse_experiment(
+        &problem,
+        &topology,
+        EnvKind::MpiSync,
+        scale.epsilon,
+        scale.streak,
+    );
+    eprintln!(
+        "sync MPI: {:.1} s (converged: {}, error vs exact: {:.2e})",
+        sync.elapsed_secs,
+        sync.converged,
+        problem.error_of(&sync.solution)
+    );
+    rows.push(TableRow::new(
+        "Ethernet",
+        EnvKind::MpiSync.label(),
+        sync.elapsed_secs,
+        sync.elapsed_secs,
+    ));
+    for env in EnvKind::ASYNC {
+        let report = sparse_experiment(&problem, &topology, env, scale.epsilon, scale.streak);
+        eprintln!(
+            "{}: {:.1} s (converged: {}, error vs exact: {:.2e}, {} data messages)",
+            env.label(),
+            report.elapsed_secs,
+            report.converged,
+            problem.error_of(&report.solution),
+            report.data_messages
+        );
+        rows.push(TableRow::new(
+            "Ethernet",
+            env.label(),
+            report.elapsed_secs,
+            sync.elapsed_secs,
+        ));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Table 2 - Execution times (virtual seconds) for the sparse linear problem",
+            &rows
+        )
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("rows serialise to JSON")
+    );
+}

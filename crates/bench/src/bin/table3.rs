@@ -1,0 +1,63 @@
+//! Regenerates Table 3: execution times for the non-linear chemical problem
+//! on the two distant-grid platforms (plain Ethernet, and Ethernet + ADSL).
+
+use aiac_bench::experiments::chemical_experiment;
+use aiac_bench::scale::ExperimentScale;
+use aiac_bench::table::{render_table, TableRow};
+use aiac_envs::env::EnvKind;
+use aiac_netsim::topology::GridTopology;
+use aiac_solvers::chemical::ChemicalParams;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("{}", scale.describe());
+    let mut params = ChemicalParams::paper_scaled(scale.chem_grid, scale.chem_grid, scale.chem_blocks);
+    params.t_end = scale.chem_t_end;
+    params.epsilon = scale.epsilon;
+
+    let platforms = [
+        ("Ethernet", GridTopology::ethernet_3_sites(scale.chem_blocks)),
+        (
+            "Ethernet and ADSL",
+            GridTopology::ethernet_adsl_4_sites(scale.chem_blocks),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, topology) in &platforms {
+        let sync = chemical_experiment(&params, topology, EnvKind::MpiSync, scale.streak);
+        eprintln!(
+            "{label} / sync MPI: {:.1} s (converged: {})",
+            sync.time_secs, sync.converged
+        );
+        rows.push(TableRow::new(
+            label,
+            EnvKind::MpiSync.label(),
+            sync.time_secs,
+            sync.time_secs,
+        ));
+        for env in EnvKind::ASYNC {
+            let result = chemical_experiment(&params, topology, env, scale.streak);
+            eprintln!(
+                "{label} / {}: {:.1} s (converged: {}, mean inner iterations: {:.1})",
+                env.label(),
+                result.time_secs,
+                result.converged,
+                result.mean_iterations
+            );
+            rows.push(TableRow::new(label, env.label(), result.time_secs, sync.time_secs));
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Table 3 - Execution times (virtual seconds) for the non-linear problem",
+            &rows
+        )
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("rows serialise to JSON")
+    );
+}

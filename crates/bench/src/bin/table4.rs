@@ -1,0 +1,32 @@
+//! Regenerates Table 4: the thread configuration each environment's
+//! implementation uses for each problem.
+//!
+//! The configurations are the ones the environment models expose to the
+//! runtimes (and therefore the ones every other experiment actually ran
+//! with), phrased with the same wording as the paper.
+
+use aiac_bench::table::render_listing;
+use aiac_envs::env::EnvKind;
+use aiac_envs::threads::ProblemKind;
+
+fn main() {
+    let processors = 12;
+    for (title, problem) in [
+        ("Table 4a - Sparse linear problem", ProblemKind::SparseLinear),
+        (
+            "Table 4b - Non-linear problem",
+            ProblemKind::NonLinearChemical,
+        ),
+    ] {
+        let entries: Vec<(String, String)> = EnvKind::ASYNC
+            .iter()
+            .map(|kind| {
+                let env = kind.build();
+                let cfg = env.thread_config(problem, processors);
+                (kind.label().to_string(), cfg.describe())
+            })
+            .collect();
+        println!("{}", render_listing(title, &entries));
+    }
+    println!("(N is the number of processors; configurations shown for N = {processors})");
+}

@@ -1,0 +1,180 @@
+//! Shared experiment runners.
+//!
+//! The table and figure binaries all boil down to two operations: run the
+//! sparse linear problem on a simulated platform with one of the environment
+//! models, and run the chemical problem the same way. Both are provided here
+//! so the binaries stay small and the runs stay comparable (same problem
+//! instance, same thresholds, only the environment and mode change — exactly
+//! the methodology of Section 5).
+
+use aiac_core::config::RunConfig;
+use aiac_core::report::RunReport;
+use aiac_core::runtime::simulated::SimulatedRuntime;
+use aiac_envs::env::EnvKind;
+use aiac_envs::threads::ProblemKind;
+use aiac_netsim::topology::GridTopology;
+use aiac_solvers::chemical::{ChemicalParams, ChemicalProblem};
+use aiac_solvers::sparse_linear::SparseLinearProblem;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one experiment cell (one environment on one platform).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Environment that produced the run.
+    pub env: String,
+    /// Platform name.
+    pub platform: String,
+    /// Virtual execution time in seconds.
+    pub time_secs: f64,
+    /// Whether every (time) step converged.
+    pub converged: bool,
+    /// Total number of data messages.
+    pub data_messages: u64,
+    /// Total data payload in bytes.
+    pub data_bytes: u64,
+    /// Mean number of local iterations per block (per time step for the
+    /// chemical problem).
+    pub mean_iterations: f64,
+}
+
+/// Builds the run configuration an environment uses: the synchronous SISC
+/// algorithm for the mono-threaded MPI baseline, the asynchronous AIAC
+/// algorithm for the three multi-threaded environments.
+pub fn run_config_for(env: EnvKind, epsilon: f64, streak: usize) -> RunConfig {
+    match env {
+        EnvKind::MpiSync => RunConfig::synchronous(epsilon),
+        _ => RunConfig::asynchronous(epsilon).with_streak(streak),
+    }
+}
+
+/// Runs the sparse linear problem on `topology` with `env` and returns the
+/// run report (virtual time in `elapsed_secs`).
+pub fn sparse_experiment(
+    problem: &SparseLinearProblem,
+    topology: &GridTopology,
+    env: EnvKind,
+    epsilon: f64,
+    streak: usize,
+) -> RunReport {
+    let runtime = SimulatedRuntime::new(topology.clone(), env, ProblemKind::SparseLinear);
+    let config = run_config_for(env, epsilon, streak);
+    runtime.run(problem, &config).report
+}
+
+/// Runs the chemical problem (all its time steps) on `topology` with `env`
+/// and returns the aggregated experiment result.
+pub fn chemical_experiment(
+    params: &ChemicalParams,
+    topology: &GridTopology,
+    env: EnvKind,
+    streak: usize,
+) -> ExperimentResult {
+    let problem = ChemicalProblem::new(params.clone());
+    let config = run_config_for(env, params.epsilon, streak);
+    let runtime = SimulatedRuntime::new(topology.clone(), env, ProblemKind::NonLinearChemical);
+    let solution = problem.solve_with(|kernel, _| runtime.run(kernel, &config).report);
+    ExperimentResult {
+        env: env.label().to_string(),
+        platform: topology.name().to_string(),
+        time_secs: solution.total_elapsed_secs,
+        converged: solution.all_converged,
+        data_messages: solution.total_data_messages,
+        data_bytes: solution.total_data_bytes,
+        mean_iterations: solution.mean_inner_iterations(),
+    }
+}
+
+/// Wraps a sparse run report into an [`ExperimentResult`].
+pub fn sparse_result(report: &RunReport, platform: &str) -> ExperimentResult {
+    ExperimentResult {
+        env: report.backend.clone(),
+        platform: platform.to_string(),
+        time_secs: report.elapsed_secs,
+        converged: report.converged,
+        data_messages: report.data_messages,
+        data_bytes: report.data_bytes,
+        mean_iterations: report.mean_iterations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+    use aiac_core::config::ExecutionMode;
+    use aiac_solvers::sparse_linear::SparseLinearParams;
+
+    fn tiny_sparse() -> SparseLinearProblem {
+        SparseLinearProblem::new(SparseLinearParams::paper_scaled(240, 6))
+    }
+
+    fn tiny_chemical() -> ChemicalParams {
+        // Keep the processor count of the real experiment (the synchronous
+        // penalty scales with it) but shrink the grid and the time interval.
+        let mut p = ChemicalParams::paper_scaled(12, 12, 12);
+        p.t_end = 360.0;
+        p
+    }
+
+    #[test]
+    fn run_config_matches_environment_capabilities() {
+        assert_eq!(
+            run_config_for(EnvKind::MpiSync, 1e-7, 3).mode,
+            ExecutionMode::Synchronous
+        );
+        for env in EnvKind::ASYNC {
+            assert_eq!(run_config_for(env, 1e-7, 3).mode, ExecutionMode::Asynchronous);
+        }
+    }
+
+    #[test]
+    fn sparse_experiment_converges_and_async_beats_sync() {
+        let problem = tiny_sparse();
+        let topo = GridTopology::ethernet_3_sites(6);
+        let scale = ExperimentScale::scaled();
+        let sync = sparse_experiment(&problem, &topo, EnvKind::MpiSync, scale.epsilon, scale.streak);
+        assert!(sync.converged);
+        for env in EnvKind::ASYNC {
+            let run = sparse_experiment(&problem, &topo, env, scale.epsilon, scale.streak);
+            assert!(run.converged, "{env} did not converge");
+            assert!(
+                run.elapsed_secs < sync.elapsed_secs,
+                "{env} ({} s) should beat sync MPI ({} s)",
+                run.elapsed_secs,
+                sync.elapsed_secs
+            );
+            assert!(problem.error_of(&run.solution) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn chemical_experiment_converges_on_both_grid_platforms() {
+        let params = tiny_chemical();
+        for topo in [
+            GridTopology::ethernet_3_sites(12),
+            GridTopology::ethernet_adsl_4_sites(12),
+        ] {
+            let sync = chemical_experiment(&params, &topo, EnvKind::MpiSync, 3);
+            let pm2 = chemical_experiment(&params, &topo, EnvKind::Pm2, 3);
+            assert!(sync.converged && pm2.converged, "{}", topo.name());
+            assert!(
+                pm2.time_secs < sync.time_secs,
+                "{}: async {} vs sync {}",
+                topo.name(),
+                pm2.time_secs,
+                sync.time_secs
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_result_copies_report_fields() {
+        let problem = tiny_sparse();
+        let topo = GridTopology::ethernet_3_sites(6);
+        let report = sparse_experiment(&problem, &topo, EnvKind::Pm2, 1e-6, 3);
+        let result = sparse_result(&report, topo.name());
+        assert_eq!(result.env, report.backend);
+        assert_eq!(result.platform, "ethernet-3-sites");
+        assert_eq!(result.data_messages, report.data_messages);
+    }
+}

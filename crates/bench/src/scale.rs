@@ -1,0 +1,134 @@
+//! Experiment scaling.
+//!
+//! The paper's problem sizes (a 2 000 000 × 2 000 000 matrix, a 600 × 600 and
+//! a 1000 × 1000 grid) are far beyond what a unit-test or CI budget allows,
+//! and the comparison the paper makes — synchronous versus asynchronous, and
+//! environment versus environment, at a *fixed* problem size — is preserved
+//! at smaller sizes. [`ExperimentScale`] centralises the sizes used by every
+//! binary so they stay consistent, and switches to the paper's original
+//! values when the environment variable `AIAC_FULL` is set to `1`.
+
+use serde::{Deserialize, Serialize};
+
+/// The problem sizes used by the experiment binaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Whether the paper-scale sizes are in force.
+    pub full_scale: bool,
+    /// Sparse linear problem: matrix dimension (paper: 2 000 000).
+    pub sparse_n: usize,
+    /// Sparse linear problem: number of processors on the distant grid.
+    pub sparse_blocks: usize,
+    /// Chemical problem: grid points per axis for Tables 1 and 3 (paper: 600).
+    pub chem_grid: usize,
+    /// Chemical problem: number of processors for Table 3.
+    pub chem_blocks: usize,
+    /// Chemical problem: simulated time interval in seconds (paper: 2160).
+    pub chem_t_end: f64,
+    /// Figure 3: grid points per axis (paper: 1000).
+    pub fig3_grid: usize,
+    /// Figure 3: simulated time interval in seconds.
+    pub fig3_t_end: f64,
+    /// Figure 3: processor counts swept on the local cluster (paper: 10–40).
+    pub fig3_processors: Vec<usize>,
+    /// Stopping threshold used by both problems.
+    pub epsilon: f64,
+    /// Local-convergence streak used by the asynchronous runs.
+    pub streak: usize,
+}
+
+impl ExperimentScale {
+    /// The scaled-down configuration used by default.
+    pub fn scaled() -> Self {
+        Self {
+            full_scale: false,
+            sparse_n: 6_000,
+            sparse_blocks: 12,
+            chem_grid: 60,
+            chem_blocks: 12,
+            chem_t_end: 720.0,
+            fig3_grid: 60,
+            fig3_t_end: 360.0,
+            fig3_processors: vec![10, 15, 20, 25, 30, 35, 40],
+            epsilon: 1e-7,
+            streak: 3,
+        }
+    }
+
+    /// The paper's original sizes (Table 1 and Figure 3).
+    pub fn full() -> Self {
+        Self {
+            full_scale: true,
+            sparse_n: 2_000_000,
+            sparse_blocks: 12,
+            chem_grid: 600,
+            chem_blocks: 12,
+            chem_t_end: 2_160.0,
+            fig3_grid: 1_000,
+            fig3_t_end: 2_160.0,
+            fig3_processors: vec![10, 15, 20, 25, 30, 35, 40],
+            epsilon: 1e-7,
+            streak: 3,
+        }
+    }
+
+    /// Reads `AIAC_FULL` from the environment and returns the matching scale.
+    pub fn from_env() -> Self {
+        match std::env::var("AIAC_FULL") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Self::full(),
+            _ => Self::scaled(),
+        }
+    }
+
+    /// A one-line description printed at the top of every experiment.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} scale: sparse n = {}, chemical grid = {}x{}, figure-3 grid = {}x{} ({} procs swept)",
+            if self.full_scale { "paper" } else { "scaled" },
+            self.sparse_n,
+            self.chem_grid,
+            self.chem_grid,
+            self.fig3_grid,
+            self.fig3_grid,
+            self.fig3_processors.len()
+        )
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_configuration_is_small_enough_for_tests() {
+        let s = ExperimentScale::scaled();
+        assert!(!s.full_scale);
+        assert!(s.sparse_n <= 20_000);
+        assert!(s.chem_grid <= 100);
+        assert!(s.chem_t_end <= 2_160.0);
+        assert_eq!(s.fig3_processors.first(), Some(&10));
+        assert_eq!(s.fig3_processors.last(), Some(&40));
+    }
+
+    #[test]
+    fn full_configuration_matches_table1() {
+        let f = ExperimentScale::full();
+        assert!(f.full_scale);
+        assert_eq!(f.sparse_n, 2_000_000);
+        assert_eq!(f.chem_grid, 600);
+        assert_eq!(f.fig3_grid, 1_000);
+        assert_eq!(f.chem_t_end, 2_160.0);
+    }
+
+    #[test]
+    fn describe_mentions_the_scale() {
+        assert!(ExperimentScale::scaled().describe().contains("scaled"));
+        assert!(ExperimentScale::full().describe().contains("paper"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text table rendering in the style of the paper's tables.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of an execution-time table (Tables 2 and 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Cluster / platform label (e.g. `"Ethernet"`, `"Ethernet and ADSL"`).
+    pub cluster: String,
+    /// Version label (e.g. `"sync MPI"`, `"async PM2"`).
+    pub version: String,
+    /// Execution time in (virtual) seconds.
+    pub time_secs: f64,
+    /// Speed ratio against the synchronous reference of the same cluster.
+    pub ratio: f64,
+}
+
+impl TableRow {
+    /// Builds a row; the ratio is computed against `reference_time`.
+    pub fn new(cluster: &str, version: &str, time_secs: f64, reference_time: f64) -> Self {
+        assert!(time_secs > 0.0, "execution time must be positive");
+        Self {
+            cluster: cluster.to_string(),
+            version: version.to_string(),
+            time_secs,
+            ratio: reference_time / time_secs,
+        }
+    }
+}
+
+/// Renders rows as an aligned text table with the same columns as the paper:
+/// cluster, version, execution time, speed ratio.
+pub fn render_table(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"=".repeat(title.len()));
+    out.push('\n');
+    let cluster_width = rows
+        .iter()
+        .map(|r| r.cluster.len())
+        .chain(["Cluster".len()].into_iter())
+        .max()
+        .unwrap_or(8);
+    let version_width = rows
+        .iter()
+        .map(|r| r.version.len())
+        .chain(["Version".len()].into_iter())
+        .max()
+        .unwrap_or(8);
+    out.push_str(&format!(
+        "{:<cw$}  {:<vw$}  {:>12}  {:>10}\n",
+        "Cluster",
+        "Version",
+        "Exec time (s)",
+        "Speed ratio",
+        cw = cluster_width,
+        vw = version_width
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<cw$}  {:<vw$}  {:>12.1}  {:>10.2}\n",
+            row.cluster,
+            row.version,
+            row.time_secs,
+            row.ratio,
+            cw = cluster_width,
+            vw = version_width
+        ));
+    }
+    out
+}
+
+/// Renders a generic two-column listing (used for Table 1 and Table 4).
+pub fn render_listing(title: &str, entries: &[(String, String)]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"=".repeat(title.len()));
+    out.push('\n');
+    let key_width = entries.iter().map(|(k, _)| k.len()).max().unwrap_or(8);
+    for (k, v) in entries {
+        out.push_str(&format!("{:<kw$}  {}\n", k, v, kw = key_width));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_reference_over_time() {
+        let row = TableRow::new("Ethernet", "async PM2", 500.0, 1000.0);
+        assert!((row.ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_reference_has_ratio_one() {
+        let row = TableRow::new("Ethernet", "sync MPI", 914.0, 914.0);
+        assert!((row.ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table_contains_every_row_and_header() {
+        let rows = vec![
+            TableRow::new("Ethernet", "sync MPI", 914.0, 914.0),
+            TableRow::new("Ethernet", "async OmniORB 4", 507.0, 914.0),
+        ];
+        let text = render_table("Table 2", &rows);
+        assert!(text.contains("Table 2"));
+        assert!(text.contains("sync MPI"));
+        assert!(text.contains("async OmniORB 4"));
+        assert!(text.contains("Speed ratio"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn render_listing_aligns_keys() {
+        let text = render_listing(
+            "Table 1",
+            &[
+                ("matrix size".to_string(), "2000000 x 2000000".to_string()),
+                ("time step".to_string(), "180 s".to_string()),
+            ],
+        );
+        assert!(text.contains("matrix size"));
+        assert!(text.contains("180 s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_time_is_rejected() {
+        TableRow::new("c", "v", 0.0, 1.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-processor block state.
+//!
+//! [`BlockState`] bundles everything one processor tracks while iterating:
+//! its own current values, the freshest version of every dependency block it
+//! has received so far (with the iteration tag it was produced at, i.e. the
+//! `s_j^i(t)` of the asynchronous model in Section 1.2), its iteration
+//! counter and its last residual. Both runtimes use it, which keeps their
+//! iteration logic symmetrical.
+
+use crate::kernel::{DependencyView, IterativeKernel};
+use aiac_linalg::norms::max_norm_diff;
+
+/// The mutable state of one block (one simulated or real processor).
+#[derive(Debug, Clone)]
+pub struct BlockState {
+    /// Block index.
+    pub id: usize,
+    /// Current local values `X_i^t`.
+    pub values: Vec<f64>,
+    /// Latest received versions of the other blocks.
+    pub view: DependencyView,
+    /// Iteration tag of the latest received version of each block
+    /// (`None` = still the initial values).
+    pub received_iteration: Vec<Option<u64>>,
+    /// Number of local iterations performed.
+    pub iteration: u64,
+    /// Residual of the last local iteration.
+    pub residual: f64,
+    /// Number of data messages incorporated so far.
+    pub messages_incorporated: u64,
+    /// Snapshot of the values at the start of the current local-convergence
+    /// observation window (see [`BlockState::drift_from_anchor`]).
+    anchor: Vec<f64>,
+}
+
+impl BlockState {
+    /// Initialises the state of block `id` from the kernel's initial values,
+    /// with the dependency view pre-filled with every block's initial values
+    /// (all processors start the first iteration from the same global state).
+    pub fn new(kernel: &dyn IterativeKernel, id: usize) -> Self {
+        assert!(id < kernel.num_blocks(), "block id out of range");
+        let values = kernel.initial_block(id);
+        Self {
+            id,
+            anchor: values.clone(),
+            values,
+            view: DependencyView::from_initial(kernel),
+            received_iteration: vec![None; kernel.num_blocks()],
+            iteration: 0,
+            residual: f64::INFINITY,
+            messages_incorporated: 0,
+        }
+    }
+
+    /// Total change of the block values since the anchor snapshot was last
+    /// reset, `||X_i^t − X_i^anchor||_∞`.
+    ///
+    /// The asynchronous runtimes use this *cumulative* drift — rather than
+    /// the per-iteration residual — as the quantity compared against ε for
+    /// local convergence: when a round of dependency updates arrives spread
+    /// over many cheap iterations, each individual iteration only moves the
+    /// block a little, and a per-iteration measure would under-estimate how
+    /// much the block is still changing.
+    pub fn drift_from_anchor(&self) -> f64 {
+        max_norm_diff(&self.values, &self.anchor)
+    }
+
+    /// Resets the anchor snapshot to the current values (called whenever the
+    /// drift exceeded ε, i.e. the observation window restarts).
+    pub fn reset_anchor(&mut self) {
+        self.anchor.copy_from_slice(&self.values);
+    }
+
+    /// The anchor snapshot itself, for kernels that measure the drift in
+    /// their own (e.g. scaled) units.
+    pub fn anchor(&self) -> &[f64] {
+        &self.anchor
+    }
+
+    /// Incorporates a received data message from block `from`, produced at the
+    /// sender's iteration `iteration`.
+    ///
+    /// Stale messages (older than what is already stored) are ignored, which
+    /// mirrors the paper's implementations where the newest received values
+    /// overwrite previous ones.
+    pub fn incorporate(&mut self, from: usize, iteration: u64, values: Vec<f64>) -> bool {
+        if let Some(prev) = self.received_iteration[from] {
+            if iteration < prev {
+                return false;
+            }
+        }
+        self.view.set(from, values);
+        self.received_iteration[from] = Some(iteration);
+        self.messages_incorporated += 1;
+        true
+    }
+
+    /// Runs one local iteration through the kernel and stores the result.
+    /// Returns the residual of the update.
+    pub fn iterate(&mut self, kernel: &dyn IterativeKernel) -> f64 {
+        let update = kernel.update_block(self.id, &self.values, &self.view);
+        self.values = update.values;
+        self.residual = update.residual;
+        self.iteration += 1;
+        // A processor always has the freshest version of its own block.
+        self.view.set(self.id, self.values.clone());
+        self.residual
+    }
+
+    /// The delay (in sender iterations) of the stored version of block `from`
+    /// relative to `latest`, i.e. how stale the data is. Returns `None` when
+    /// nothing has been received yet.
+    pub fn staleness(&self, from: usize, latest: u64) -> Option<u64> {
+        self.received_iteration[from].map(|tag| latest.saturating_sub(tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::test_kernels::RingContraction;
+
+    #[test]
+    fn new_block_starts_from_kernel_initial_values() {
+        let kernel = RingContraction::new(3);
+        let st = BlockState::new(&kernel, 1);
+        assert_eq!(st.values, vec![0.0]);
+        assert_eq!(st.iteration, 0);
+        assert!(st.view.has(0) && st.view.has(2));
+    }
+
+    #[test]
+    fn iterate_updates_values_and_counters() {
+        let kernel = RingContraction::new(3);
+        let mut st = BlockState::new(&kernel, 0);
+        let r = st.iterate(&kernel);
+        assert_eq!(st.iteration, 1);
+        assert_eq!(st.values, vec![1.0]); // 0.2*0 + 0.3*0 + 0.2*0 + 1.0
+        assert_eq!(r, 1.0);
+        assert_eq!(st.view.expect(0), &[1.0]);
+    }
+
+    #[test]
+    fn incorporate_keeps_newest_version() {
+        let kernel = RingContraction::new(3);
+        let mut st = BlockState::new(&kernel, 0);
+        assert!(st.incorporate(1, 5, vec![5.0]));
+        assert_eq!(st.view.expect(1), &[5.0]);
+        // an older message is discarded
+        assert!(!st.incorporate(1, 3, vec![3.0]));
+        assert_eq!(st.view.expect(1), &[5.0]);
+        // an equal-or-newer message replaces the data
+        assert!(st.incorporate(1, 5, vec![6.0]));
+        assert_eq!(st.view.expect(1), &[6.0]);
+        assert_eq!(st.messages_incorporated, 2);
+    }
+
+    #[test]
+    fn drift_accumulates_across_iterations_until_reset() {
+        let kernel = RingContraction::new(2);
+        let mut st = BlockState::new(&kernel, 0);
+        assert_eq!(st.drift_from_anchor(), 0.0);
+        st.iterate(&kernel); // 0 -> 1.0
+        let d1 = st.drift_from_anchor();
+        assert!(d1 > 0.0);
+        st.iterate(&kernel); // keeps moving towards the fixed point
+        assert!(st.drift_from_anchor() > d1, "drift is cumulative");
+        st.reset_anchor();
+        assert_eq!(st.drift_from_anchor(), 0.0);
+    }
+
+    #[test]
+    fn staleness_tracks_received_iteration_tags() {
+        let kernel = RingContraction::new(2);
+        let mut st = BlockState::new(&kernel, 0);
+        assert_eq!(st.staleness(1, 10), None);
+        st.incorporate(1, 7, vec![1.0]);
+        assert_eq!(st.staleness(1, 10), Some(3));
+        assert_eq!(st.staleness(1, 7), Some(0));
+    }
+
+    #[test]
+    fn repeated_iterations_converge_with_fresh_neighbour_data() {
+        let kernel = RingContraction::new(2);
+        let mut a = BlockState::new(&kernel, 0);
+        let mut b = BlockState::new(&kernel, 1);
+        for _ in 0..200 {
+            a.iterate(&kernel);
+            b.iterate(&kernel);
+            let av = a.values.clone();
+            let bv = b.values.clone();
+            a.incorporate(1, b.iteration, bv);
+            b.incorporate(0, a.iteration, av);
+        }
+        // fixed point of x = 0.2 x_other + 0.3 x + 0.2 x_other + 1 is
+        // symmetric: x = 1 / (1 - 0.7)
+        let fp = kernel.fixed_point();
+        assert!((a.values[0] - fp).abs() < 1e-9);
+        assert!((b.values[0] - fp).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Run configuration.
+//!
+//! [`RunConfig`] gathers the knobs the paper's implementations expose: the
+//! execution mode (synchronous SISC versus asynchronous AIAC), the residual
+//! threshold of the stopping criterion, the number of consecutive
+//! under-threshold iterations required before a processor believes its local
+//! convergence (Section 4.3: "we count a specified number of iterations under
+//! local convergence before assuming it has actually been reached"), and the
+//! iteration limit guarding against non-convergent runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Synchronous (SISC) or asynchronous (AIAC) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Synchronous Iterations – Synchronous Communications: every processor
+    /// runs the same iteration number and a global exchange/barrier separates
+    /// iterations (Figure 1).
+    Synchronous,
+    /// Asynchronous Iterations – Asynchronous Communications: processors
+    /// iterate at their own pace on whatever data is available (Figure 2).
+    Asynchronous,
+}
+
+impl ExecutionMode {
+    /// Short label used in reports and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionMode::Synchronous => "sync",
+            ExecutionMode::Asynchronous => "async",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of one solver run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Execution mode.
+    pub mode: ExecutionMode,
+    /// Residual threshold ε of the stopping criterion
+    /// `||x_k − x_{k−1}||_∞ < ε`.
+    pub epsilon: f64,
+    /// Number of consecutive iterations a block must stay under `epsilon`
+    /// before it declares local convergence (asynchronous mode only; the
+    /// synchronous mode checks the global residual directly).
+    pub convergence_streak: usize,
+    /// Hard limit on the number of local iterations of any block, "in order
+    /// to avoid infinite execution when the process does not converge".
+    pub max_iterations: usize,
+    /// Seed forwarded to any randomised component (kept in the config so a
+    /// whole run is reproducible from this single value).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// An asynchronous configuration with the given threshold.
+    pub fn asynchronous(epsilon: f64) -> Self {
+        Self {
+            mode: ExecutionMode::Asynchronous,
+            epsilon,
+            convergence_streak: 3,
+            max_iterations: 100_000,
+            seed: 0,
+        }
+    }
+
+    /// A synchronous configuration with the given threshold.
+    pub fn synchronous(epsilon: f64) -> Self {
+        Self {
+            mode: ExecutionMode::Synchronous,
+            epsilon,
+            convergence_streak: 1,
+            max_iterations: 100_000,
+            seed: 0,
+        }
+    }
+
+    /// Sets the iteration limit (builder style).
+    pub fn with_max_iterations(mut self, max: usize) -> Self {
+        self.max_iterations = max;
+        self
+    }
+
+    /// Sets the convergence streak (builder style).
+    pub fn with_streak(mut self, streak: usize) -> Self {
+        self.convergence_streak = streak;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the configuration is usable.
+    ///
+    /// # Panics
+    /// Panics if ε is not a positive finite number, the streak is zero or the
+    /// iteration limit is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.epsilon.is_finite() && self.epsilon > 0.0,
+            "epsilon must be positive and finite"
+        );
+        assert!(self.convergence_streak > 0, "convergence_streak must be > 0");
+        assert!(self.max_iterations > 0, "max_iterations must be > 0");
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self::asynchronous(1e-8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_the_mode() {
+        assert_eq!(RunConfig::asynchronous(1e-6).mode, ExecutionMode::Asynchronous);
+        assert_eq!(RunConfig::synchronous(1e-6).mode, ExecutionMode::Synchronous);
+    }
+
+    #[test]
+    fn builder_methods_override_fields() {
+        let c = RunConfig::asynchronous(1e-6)
+            .with_max_iterations(500)
+            .with_streak(7)
+            .with_seed(42);
+        assert_eq!(c.max_iterations, 500);
+        assert_eq!(c.convergence_streak, 7);
+        assert_eq!(c.seed, 42);
+        c.validate();
+    }
+
+    #[test]
+    fn default_is_a_valid_async_config() {
+        let c = RunConfig::default();
+        assert_eq!(c.mode, ExecutionMode::Asynchronous);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_is_rejected() {
+        RunConfig::asynchronous(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_iterations must be > 0")]
+    fn zero_iteration_limit_is_rejected() {
+        RunConfig::asynchronous(1e-6).with_max_iterations(0).validate();
+    }
+
+    #[test]
+    fn mode_labels_are_stable() {
+        assert_eq!(ExecutionMode::Synchronous.label(), "sync");
+        assert_eq!(format!("{}", ExecutionMode::Asynchronous), "async");
+    }
+}

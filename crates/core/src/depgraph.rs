@@ -1,0 +1,167 @@
+//! The block dependency graph.
+//!
+//! Section 1.1 of the paper describes the communications of a block-iterative
+//! algorithm "by means of a directed graph called the dependency graph".
+//! [`DependencyGraph`] materialises that graph from an
+//! [`crate::kernel::IterativeKernel`]: for each block it records both the
+//! blocks it *reads from* (in-neighbours) and the blocks it must *send to*
+//! (out-neighbours, the inverse relation), which is what the runtimes use to
+//! route data messages.
+
+use crate::kernel::IterativeKernel;
+use serde::{Deserialize, Serialize};
+
+/// The dependency graph of a block-decomposed problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    /// `in_neighbours[i]` = blocks whose data block `i` needs.
+    in_neighbours: Vec<Vec<usize>>,
+    /// `out_neighbours[i]` = blocks that need block `i`'s data.
+    out_neighbours: Vec<Vec<usize>>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph by querying the kernel's
+    /// [`IterativeKernel::dependencies`] for every block — the analogue of the
+    /// first step of the paper's sparse-linear algorithm where every processor
+    /// computes its dependency list and communicates it to the others.
+    pub fn from_kernel(kernel: &dyn IterativeKernel) -> Self {
+        let n = kernel.num_blocks();
+        let mut in_neighbours = Vec::with_capacity(n);
+        let mut out_neighbours = vec![Vec::new(); n];
+        for i in 0..n {
+            let mut deps = kernel.dependencies(i);
+            deps.retain(|&d| d != i);
+            deps.sort_unstable();
+            deps.dedup();
+            for &d in &deps {
+                assert!(d < n, "block {i} depends on unknown block {d}");
+                out_neighbours[d].push(i);
+            }
+            in_neighbours.push(deps);
+        }
+        for o in out_neighbours.iter_mut() {
+            o.sort_unstable();
+        }
+        Self {
+            in_neighbours,
+            out_neighbours,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.in_neighbours.len()
+    }
+
+    /// Blocks whose data block `i` needs.
+    pub fn in_neighbours(&self, i: usize) -> &[usize] {
+        &self.in_neighbours[i]
+    }
+
+    /// Blocks that need block `i`'s data (where block `i` sends updates).
+    pub fn out_neighbours(&self, i: usize) -> &[usize] {
+        &self.out_neighbours[i]
+    }
+
+    /// Total number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.in_neighbours.iter().map(|v| v.len()).sum()
+    }
+
+    /// Maximum out-degree — the largest number of destinations any block
+    /// sends to each iteration (drives the benefit of multiple sending
+    /// threads).
+    pub fn max_out_degree(&self) -> usize {
+        self.out_neighbours.iter().map(|v| v.len()).max().unwrap_or(0)
+    }
+
+    /// True when every pair of distinct blocks is connected in both
+    /// directions (the all-to-all pattern of the sparse linear problem with a
+    /// dense dependency structure).
+    pub fn is_all_to_all(&self) -> bool {
+        let n = self.num_blocks();
+        n > 0 && self.in_neighbours.iter().all(|v| v.len() == n - 1)
+    }
+
+    /// True when the graph is symmetric (i depends on j ⇔ j depends on i),
+    /// which holds for both benchmark problems.
+    pub fn is_symmetric(&self) -> bool {
+        for (i, deps) in self.in_neighbours.iter().enumerate() {
+            for &j in deps {
+                if !self.in_neighbours[j].contains(&i) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::test_kernels::{Diverging, RingContraction};
+    use crate::kernel::{BlockUpdate, DependencyView};
+
+    #[test]
+    fn ring_kernel_builds_a_ring_graph() {
+        let g = DependencyGraph::from_kernel(&RingContraction::new(5));
+        assert_eq!(g.num_blocks(), 5);
+        assert_eq!(g.in_neighbours(0), &[1, 4]);
+        assert_eq!(g.out_neighbours(0), &[1, 4]);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.max_out_degree(), 2);
+        assert!(g.is_symmetric());
+        assert!(!g.is_all_to_all());
+    }
+
+    #[test]
+    fn independent_blocks_have_no_edges() {
+        let g = DependencyGraph::from_kernel(&Diverging { blocks: 3 });
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_out_degree(), 0);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn three_block_ring_is_all_to_all() {
+        // with 3 blocks, left and right neighbours cover everyone else
+        let g = DependencyGraph::from_kernel(&RingContraction::new(3));
+        assert!(g.is_all_to_all());
+    }
+
+    /// A kernel whose declared dependencies contain duplicates and
+    /// self-references; the graph must clean them up.
+    struct Messy;
+
+    impl IterativeKernel for Messy {
+        fn num_blocks(&self) -> usize {
+            3
+        }
+        fn block_len(&self, _b: usize) -> usize {
+            1
+        }
+        fn initial_block(&self, _b: usize) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn dependencies(&self, b: usize) -> Vec<usize> {
+            vec![b, 0, 0, 2]
+        }
+        fn update_block(&self, _b: usize, local: &[f64], _o: &DependencyView) -> BlockUpdate {
+            BlockUpdate {
+                values: local.to_vec(),
+                residual: 0.0,
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_self_dependencies_are_removed() {
+        let g = DependencyGraph::from_kernel(&Messy);
+        assert_eq!(g.in_neighbours(0), &[2]);
+        assert_eq!(g.in_neighbours(1), &[0, 2]);
+        assert_eq!(g.in_neighbours(2), &[0]);
+        assert_eq!(g.out_neighbours(0), &[1, 2]);
+    }
+}

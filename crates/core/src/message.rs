@@ -1,0 +1,118 @@
+//! Messages exchanged by the AIAC runtimes.
+//!
+//! The paper's algorithms exchange three kinds of messages (Section 4.3):
+//! block data updates (sent asynchronously after each local iteration), local
+//! convergence *state* messages sent to the central detector only when the
+//! state changes, and the final *stop* signal broadcast by the detector once
+//! global convergence is reached. Both the threaded and the simulated
+//! runtimes use this single message type so their behaviour can be compared
+//! directly.
+
+use serde::{Deserialize, Serialize};
+
+/// A message flowing between processors (or between a processor and the
+/// central convergence detector).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// New values of a block, sent to every processor that depends on it.
+    Data {
+        /// Sending block.
+        from: usize,
+        /// Local iteration number at which these values were produced.
+        iteration: u64,
+        /// The block values.
+        values: Vec<f64>,
+    },
+    /// Local convergence state report to the central detector; sent only when
+    /// the state changes to limit network load.
+    State {
+        /// Reporting block.
+        from: usize,
+        /// Whether that block currently believes it has locally converged.
+        converged: bool,
+    },
+    /// Order to stop computing, broadcast by the detector once every block is
+    /// in local convergence.
+    Stop,
+}
+
+impl Message {
+    /// The block this message originates from, when applicable.
+    pub fn sender(&self) -> Option<usize> {
+        match self {
+            Message::Data { from, .. } | Message::State { from, .. } => Some(*from),
+            Message::Stop => None,
+        }
+    }
+
+    /// Application payload size in bytes, used by the simulated runtime for
+    /// its transfer-time model (data values dominate; control messages are a
+    /// few bytes).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Message::Data { values, .. } => (values.len() * std::mem::size_of::<f64>()) as u64 + 16,
+            Message::State { .. } => 16,
+            Message::Stop => 8,
+        }
+    }
+
+    /// True for data-update messages.
+    pub fn is_data(&self) -> bool {
+        matches!(self, Message::Data { .. })
+    }
+
+    /// True for control (state / stop) messages.
+    pub fn is_control(&self) -> bool {
+        !self.is_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_message_size_scales_with_values() {
+        let small = Message::Data {
+            from: 0,
+            iteration: 1,
+            values: vec![0.0; 10],
+        };
+        let large = Message::Data {
+            from: 0,
+            iteration: 1,
+            values: vec![0.0; 1000],
+        };
+        assert_eq!(small.payload_bytes(), 96);
+        assert!(large.payload_bytes() > small.payload_bytes());
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        let state = Message::State {
+            from: 3,
+            converged: true,
+        };
+        assert!(state.payload_bytes() <= 16);
+        assert!(Message::Stop.payload_bytes() <= 16);
+        assert!(state.is_control());
+        assert!(Message::Stop.is_control());
+    }
+
+    #[test]
+    fn sender_is_reported_for_data_and_state() {
+        let data = Message::Data {
+            from: 2,
+            iteration: 0,
+            values: vec![],
+        };
+        assert_eq!(data.sender(), Some(2));
+        assert!(data.is_data());
+        let state = Message::State {
+            from: 7,
+            converged: false,
+        };
+        assert_eq!(state.sender(), Some(7));
+        assert_eq!(Message::Stop.sender(), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Run reports.
+//!
+//! Every runtime returns a [`RunReport`]: the timing measure appropriate to
+//! the back-end (wall-clock seconds for the threaded runtime, virtual seconds
+//! for the simulated one), per-block iteration counts, message statistics,
+//! the assembled solution and whether the run converged. The benchmark
+//! harness turns collections of reports into the rows of Tables 2 and 3 and
+//! the series of Figure 3, so the report also knows how to compute the
+//! paper's "speed ratio" (synchronous time divided by asynchronous time).
+
+use crate::config::ExecutionMode;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one solver run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Execution mode of the run.
+    pub mode: ExecutionMode,
+    /// Label of the environment / back-end that produced the run
+    /// (e.g. `"async PM2"`, `"threaded"`, `"sequential"`).
+    pub backend: String,
+    /// Execution time in seconds. Wall-clock for real back-ends, virtual time
+    /// for the simulated one.
+    pub elapsed_secs: f64,
+    /// Number of local iterations performed by each block.
+    pub iterations: Vec<u64>,
+    /// Number of data messages sent.
+    pub data_messages: u64,
+    /// Number of control (state / stop) messages sent.
+    pub control_messages: u64,
+    /// Total application payload bytes carried by data messages.
+    pub data_bytes: u64,
+    /// Whether the run stopped because global convergence was detected
+    /// (`false` = iteration limit hit).
+    pub converged: bool,
+    /// The assembled solution vector (concatenation of the blocks).
+    pub solution: Vec<f64>,
+    /// Residual of the worst block when the run stopped.
+    pub final_residual: f64,
+}
+
+impl RunReport {
+    /// Mean number of iterations per block.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        self.iterations.iter().sum::<u64>() as f64 / self.iterations.len() as f64
+    }
+
+    /// Largest number of iterations performed by any block.
+    pub fn max_iterations(&self) -> u64 {
+        self.iterations.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest number of iterations performed by any block.
+    pub fn min_iterations(&self) -> u64 {
+        self.iterations.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Imbalance ratio between the most and least active blocks
+    /// (1.0 = perfectly balanced; asynchronous runs on heterogeneous grids
+    /// are expected to be well above 1).
+    pub fn iteration_imbalance(&self) -> f64 {
+        let min = self.min_iterations();
+        if min == 0 {
+            return f64::INFINITY;
+        }
+        self.max_iterations() as f64 / min as f64
+    }
+
+    /// The paper's "speed ratio": the reference (synchronous) time divided by
+    /// this run's time.
+    pub fn speed_ratio_vs(&self, reference: &RunReport) -> f64 {
+        assert!(self.elapsed_secs > 0.0, "elapsed time must be positive");
+        reference.elapsed_secs / self.elapsed_secs
+    }
+
+    /// Total number of messages (data + control).
+    pub fn total_messages(&self) -> u64 {
+        self.data_messages + self.control_messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(mode: ExecutionMode, secs: f64, iters: Vec<u64>) -> RunReport {
+        RunReport {
+            mode,
+            backend: "test".to_string(),
+            elapsed_secs: secs,
+            iterations: iters,
+            data_messages: 10,
+            control_messages: 4,
+            data_bytes: 1_000,
+            converged: true,
+            solution: vec![0.0],
+            final_residual: 1e-9,
+        }
+    }
+
+    #[test]
+    fn iteration_statistics() {
+        let r = report(ExecutionMode::Asynchronous, 2.0, vec![10, 20, 30]);
+        assert_eq!(r.mean_iterations(), 20.0);
+        assert_eq!(r.max_iterations(), 30);
+        assert_eq!(r.min_iterations(), 10);
+        assert_eq!(r.iteration_imbalance(), 3.0);
+        assert_eq!(r.total_messages(), 14);
+    }
+
+    #[test]
+    fn empty_iteration_vector_is_handled() {
+        let r = report(ExecutionMode::Synchronous, 1.0, vec![]);
+        assert_eq!(r.mean_iterations(), 0.0);
+        assert_eq!(r.max_iterations(), 0);
+    }
+
+    #[test]
+    fn zero_iteration_block_gives_infinite_imbalance() {
+        let r = report(ExecutionMode::Asynchronous, 1.0, vec![0, 5]);
+        assert!(r.iteration_imbalance().is_infinite());
+    }
+
+    #[test]
+    fn speed_ratio_matches_paper_definition() {
+        let sync = report(ExecutionMode::Synchronous, 914.0, vec![100]);
+        let async_run = report(ExecutionMode::Asynchronous, 507.0, vec![120]);
+        let ratio = async_run.speed_ratio_vs(&sync);
+        assert!((ratio - 914.0 / 507.0).abs() < 1e-12);
+        // the synchronous run compared to itself has ratio 1
+        assert!((sync.speed_ratio_vs(&sync) - 1.0).abs() < 1e-12);
+    }
+}

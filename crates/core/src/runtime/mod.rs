@@ -1,0 +1,24 @@
+//! Execution back-ends.
+//!
+//! Three back-ends run the same [`crate::kernel::IterativeKernel`]:
+//!
+//! * [`sequential`] — a single-threaded fixed-point loop used as the
+//!   correctness reference;
+//! * [`threaded`] — one OS thread per block with crossbeam channels; the
+//!   synchronous mode inserts a barrier and a global exchange between
+//!   iterations (SISC), the asynchronous mode lets every thread run free
+//!   (AIAC). This back-end is what a downstream user runs on a multicore
+//!   machine.
+//! * [`simulated`] — a virtual-time execution over an `aiac-netsim` grid and
+//!   an `aiac-envs` environment model; this is the back-end the benchmark
+//!   harness uses to reproduce the paper's grid experiments, since 40
+//!   heterogeneous machines behind 10 Mb Ethernet and ADSL links cannot be
+//!   conjured on a development box.
+
+pub mod sequential;
+pub mod simulated;
+pub mod threaded;
+
+pub use sequential::SequentialRuntime;
+pub use simulated::{SimulatedRuntime, SimulationOutcome};
+pub use threaded::ThreadedRuntime;

@@ -1,0 +1,131 @@
+//! The sequential reference runtime.
+//!
+//! Runs the block iteration exactly as equation (2) of the paper describes it
+//! for a single processor: every iteration updates every block from the
+//! values of the *previous* iteration (Jacobi-style sweep), so the iterates
+//! are identical to those of the synchronous parallel algorithm. The result
+//! is used throughout the test-suite as the ground truth the parallel and
+//! asynchronous back-ends must agree with.
+
+use crate::block::BlockState;
+use crate::config::{ExecutionMode, RunConfig};
+use crate::kernel::IterativeKernel;
+use crate::report::RunReport;
+use std::time::Instant;
+
+/// Single-threaded reference executor.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialRuntime {
+    _private: (),
+}
+
+impl SequentialRuntime {
+    /// Creates the runtime.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the kernel to convergence (or to the iteration limit).
+    ///
+    /// The `mode` field of the configuration is ignored — a sequential sweep
+    /// is by construction synchronous — but the threshold and iteration limit
+    /// are honoured.
+    pub fn run(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> RunReport {
+        config.validate();
+        let started = Instant::now();
+        let m = kernel.num_blocks();
+        let mut blocks: Vec<BlockState> = (0..m).map(|b| BlockState::new(kernel, b)).collect();
+
+        let mut iterations = 0u64;
+        let mut converged = false;
+        let mut worst_residual = f64::INFINITY;
+
+        while iterations < config.max_iterations as u64 {
+            // Jacobi sweep: every block reads the previous iteration's values,
+            // so updates within one sweep do not see each other.
+            let snapshot: Vec<Vec<f64>> = blocks.iter().map(|b| b.values.clone()).collect();
+            for state in blocks.iter_mut() {
+                for dep in kernel.dependencies(state.id) {
+                    state.view.set(dep, snapshot[dep].clone());
+                }
+            }
+            worst_residual = 0.0f64;
+            for state in blocks.iter_mut() {
+                let r = state.iterate(kernel);
+                worst_residual = worst_residual.max(r);
+            }
+            iterations += 1;
+            if worst_residual < config.epsilon {
+                converged = true;
+                break;
+            }
+        }
+
+        let values: Vec<Vec<f64>> = blocks.iter().map(|b| b.values.clone()).collect();
+        RunReport {
+            mode: ExecutionMode::Synchronous,
+            backend: "sequential".to_string(),
+            elapsed_secs: started.elapsed().as_secs_f64(),
+            iterations: vec![iterations; m],
+            data_messages: 0,
+            control_messages: 0,
+            data_bytes: 0,
+            converged,
+            solution: kernel.assemble(&values),
+            final_residual: worst_residual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::test_kernels::{Diverging, RingContraction};
+
+    #[test]
+    fn converges_to_the_known_fixed_point() {
+        let kernel = RingContraction::new(6);
+        let report = SequentialRuntime::new().run(&kernel, &RunConfig::synchronous(1e-12));
+        assert!(report.converged);
+        let fp = kernel.fixed_point();
+        for v in &report.solution {
+            assert!((v - fp).abs() < 1e-9, "value {v} vs fixed point {fp}");
+        }
+        assert_eq!(report.solution.len(), 6);
+        assert!(report.final_residual < 1e-12);
+    }
+
+    #[test]
+    fn iteration_limit_stops_diverging_problems() {
+        let kernel = Diverging { blocks: 2 };
+        let config = RunConfig::synchronous(1e-10).with_max_iterations(25);
+        let report = SequentialRuntime::new().run(&kernel, &config);
+        assert!(!report.converged);
+        assert_eq!(report.iterations, vec![25, 25]);
+    }
+
+    #[test]
+    fn report_counts_no_messages_for_sequential_runs() {
+        let kernel = RingContraction::new(3);
+        let report = SequentialRuntime::new().run(&kernel, &RunConfig::synchronous(1e-8));
+        assert_eq!(report.data_messages, 0);
+        assert_eq!(report.total_messages(), 0);
+        assert_eq!(report.backend, "sequential");
+    }
+
+    #[test]
+    fn single_block_problem_is_solved() {
+        let kernel = RingContraction::new(1);
+        let report = SequentialRuntime::new().run(&kernel, &RunConfig::synchronous(1e-12));
+        assert!(report.converged);
+        assert!((report.solution[0] - kernel.fixed_point()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn looser_tolerance_needs_fewer_iterations() {
+        let kernel = RingContraction::new(4);
+        let loose = SequentialRuntime::new().run(&kernel, &RunConfig::synchronous(1e-3));
+        let tight = SequentialRuntime::new().run(&kernel, &RunConfig::synchronous(1e-12));
+        assert!(loose.iterations[0] < tight.iterations[0]);
+    }
+}

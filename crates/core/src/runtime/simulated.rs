@@ -1,0 +1,757 @@
+//! The simulated runtime: virtual-time execution over a grid model.
+//!
+//! The paper's measurements were taken on multi-site grids (10 Mb Ethernet,
+//! consumer ADSL) and on a 40-machine heterogeneous cluster; none of that
+//! hardware is available, so this back-end replays the same algorithms in
+//! *virtual time* over an [`aiac_netsim::topology::GridTopology`] and an
+//! [`aiac_envs::env::Environment`] model:
+//!
+//! * compute phases take `iteration_cost / host speed` virtual seconds;
+//! * data messages pay the environment's packing cost (serialised according
+//!   to the Table 4 thread configuration), the network transfer time with
+//!   FIFO contention ([`aiac_netsim::network::Network`]) and the receiver's
+//!   dispatch cost (dedicated pool or on-demand thread);
+//! * the synchronous mode inserts the global exchange and barrier of Figure 1
+//!   between iterations;
+//! * the asynchronous mode runs every processor at its own pace and stops it
+//!   only when the centralized detector's stop message reaches it, exactly as
+//!   in Section 4.3.
+//!
+//! The whole simulation is deterministic, which is what lets the benchmark
+//! harness regenerate Tables 2–3 and Figure 3 reproducibly.
+
+use crate::block::BlockState;
+use crate::config::{ExecutionMode, RunConfig};
+use crate::convergence::{GlobalDetector, LocalConvergence};
+use crate::depgraph::DependencyGraph;
+use crate::kernel::IterativeKernel;
+use crate::report::RunReport;
+use aiac_envs::env::{EnvKind, Environment};
+use aiac_envs::threads::{ProblemKind, ReceiveDiscipline, ThreadConfig};
+use aiac_netsim::host::HostId;
+use aiac_netsim::network::{Network, NetworkStats};
+use aiac_netsim::sim::Simulator;
+use aiac_netsim::time::SimTime;
+use aiac_netsim::topology::GridTopology;
+use aiac_netsim::trace::{Activity, ExecutionTrace};
+
+/// Size in bytes of a convergence-state or stop control message on the wire.
+const CONTROL_BYTES: u64 = 16;
+
+/// Result of a simulated run: the usual report plus simulation-only
+/// information (virtual time, execution trace, network statistics).
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// The standard run report; `elapsed_secs` holds the *virtual* time.
+    pub report: RunReport,
+    /// Final virtual time of the run.
+    pub sim_time: SimTime,
+    /// Execution trace (only when tracing was enabled).
+    pub trace: Option<ExecutionTrace>,
+    /// Network transfer statistics.
+    pub network: NetworkStats,
+}
+
+/// Virtual-time executor over a simulated grid.
+pub struct SimulatedRuntime {
+    topology: GridTopology,
+    env: Box<dyn Environment>,
+    problem: ProblemKind,
+    record_trace: bool,
+}
+
+impl SimulatedRuntime {
+    /// Creates a runtime for the given platform, environment and problem kind
+    /// (the problem kind selects the Table 4 thread configuration).
+    pub fn new(topology: GridTopology, env: EnvKind, problem: ProblemKind) -> Self {
+        Self {
+            topology,
+            env: env.build(),
+            problem,
+            record_trace: false,
+        }
+    }
+
+    /// Enables or disables execution tracing (needed for the Figure 1/2
+    /// reproduction; off by default because traces grow with the iteration
+    /// count).
+    pub fn with_trace(mut self, enable: bool) -> Self {
+        self.record_trace = enable;
+        self
+    }
+
+    /// The environment model used by this runtime.
+    pub fn environment(&self) -> &dyn Environment {
+        self.env.as_ref()
+    }
+
+    /// The platform used by this runtime.
+    pub fn topology(&self) -> &GridTopology {
+        &self.topology
+    }
+
+    /// Host a block is placed on (blocks are assigned round-robin when there
+    /// are more blocks than hosts; the usual case is one block per host).
+    pub fn host_of(&self, block: usize) -> HostId {
+        HostId(block % self.topology.num_hosts())
+    }
+
+    /// Runs the kernel and returns the simulation outcome.
+    ///
+    /// # Panics
+    /// Panics if the configuration asks for asynchronous execution on an
+    /// environment that does not support it (the mono-threaded MPI model).
+    pub fn run(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> SimulationOutcome {
+        config.validate();
+        assert!(
+            self.topology.num_hosts() > 0,
+            "the topology must contain at least one host"
+        );
+        match config.mode {
+            ExecutionMode::Synchronous => self.run_synchronous(kernel, config),
+            ExecutionMode::Asynchronous => {
+                assert!(
+                    self.env.supports_async(),
+                    "{} cannot run AIAC algorithms (no multi-threading); \
+                     use the synchronous mode or a multi-threaded environment",
+                    self.env.name()
+                );
+                self.run_asynchronous(kernel, config)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronous (SISC) simulation
+    // ------------------------------------------------------------------
+
+    fn run_synchronous(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> SimulationOutcome {
+        let m = kernel.num_blocks();
+        let graph = DependencyGraph::from_kernel(kernel);
+        let mut network = Network::new(self.topology.clone());
+        let mut trace = self.record_trace.then(|| ExecutionTrace::new(m));
+
+        let mut states: Vec<BlockState> = (0..m).map(|b| BlockState::new(kernel, b)).collect();
+        let mut iteration_start = SimTime::ZERO;
+        let mut iterations = 0u64;
+        let mut converged = false;
+        let mut worst_residual = f64::INFINITY;
+        let mut data_messages = 0u64;
+        let mut control_messages = 0u64;
+        let mut data_bytes = 0u64;
+
+        while iterations < config.max_iterations as u64 {
+            // --- compute phase -------------------------------------------------
+            let compute_end: Vec<SimTime> = (0..m)
+                .map(|b| {
+                    let host = self.topology.host(self.host_of(b));
+                    iteration_start + host.compute_time(kernel.iteration_cost(b))
+                })
+                .collect();
+            if let Some(tr) = trace.as_mut() {
+                for b in 0..m {
+                    tr.record(b, iteration_start, compute_end[b], Activity::Compute);
+                }
+            }
+
+            // Numerically, a synchronous iteration is a Jacobi sweep: all blocks
+            // read the values of the previous iteration.
+            let snapshot: Vec<Vec<f64>> = states.iter().map(|s| s.values.clone()).collect();
+            for state in states.iter_mut() {
+                for dep in graph.in_neighbours(state.id) {
+                    state.view.set(*dep, snapshot[*dep].clone());
+                }
+            }
+            worst_residual = 0.0;
+            for state in states.iter_mut() {
+                worst_residual = worst_residual.max(state.iterate(kernel));
+            }
+            iterations += 1;
+
+            // --- global exchange ------------------------------------------------
+            // Every block sends its new values to its dependants; the packing
+            // costs of a mono-threaded environment are serialised.
+            let mut barrier_time = compute_end
+                .iter()
+                .copied()
+                .fold(SimTime::ZERO, SimTime::max);
+            for b in 0..m {
+                let src = self.host_of(b);
+                let mut send_clock = compute_end[b];
+                for &dst_block in graph.out_neighbours(b).iter() {
+                    let dst = self.host_of(dst_block);
+                    let payload = kernel.message_bytes(b, dst_block) + CONTROL_BYTES;
+                    let cost = self.env.message_cost(payload);
+                    // The synchronous baseline is mono-threaded: the packing of
+                    // every outgoing message is serialised on the single
+                    // program thread.
+                    send_clock = send_clock + cost.sender_cpu;
+                    let arrival = if src == dst {
+                        send_clock
+                    } else {
+                        network.transfer(src, dst, payload, cost.protocol_bytes, send_clock)
+                    };
+                    let handled = arrival + cost.dispatch_latency + cost.receiver_cpu;
+                    barrier_time = barrier_time.max(handled);
+                    data_messages += 1;
+                    data_bytes += payload;
+                }
+            }
+
+            // --- synchronisation points -----------------------------------------
+            // Every processor reports to processor 0, which broadcasts the
+            // verdict: 2·(m−1) small control messages per collective. The
+            // kernel says how many such collectives one synchronous iteration
+            // needs (one for a plain fixed-point sweep; many for the paper's
+            // globally-synchronised Newton/GMRES baseline).
+            let coord = self.host_of(0);
+            let mut next_start = barrier_time;
+            for _ in 0..kernel.sync_collectives_per_iteration().max(1) {
+                let round_start = next_start;
+                let mut verdict_time = round_start;
+                for b in 1..m {
+                    let src = self.host_of(b);
+                    let cost = self.env.message_cost(CONTROL_BYTES);
+                    let arrival = if src == coord {
+                        round_start + cost.sender_cpu + cost.receiver_cpu
+                    } else {
+                        network.transfer(src, coord, CONTROL_BYTES, cost.protocol_bytes, round_start)
+                            + cost.receiver_cpu
+                    };
+                    verdict_time = verdict_time.max(arrival);
+                    control_messages += 1;
+                }
+                for b in 1..m {
+                    let dst = self.host_of(b);
+                    let cost = self.env.message_cost(CONTROL_BYTES);
+                    let arrival = if dst == coord {
+                        verdict_time + cost.sender_cpu + cost.receiver_cpu
+                    } else {
+                        network.transfer(coord, dst, CONTROL_BYTES, cost.protocol_bytes, verdict_time)
+                            + cost.receiver_cpu
+                    };
+                    next_start = next_start.max(arrival);
+                    control_messages += 1;
+                }
+            }
+
+            if let Some(tr) = trace.as_mut() {
+                for b in 0..m {
+                    tr.record(b, compute_end[b], next_start, Activity::Idle);
+                }
+            }
+            iteration_start = next_start;
+
+            if worst_residual < config.epsilon {
+                converged = true;
+                break;
+            }
+        }
+
+        let values: Vec<Vec<f64>> = states.iter().map(|s| s.values.clone()).collect();
+        let report = RunReport {
+            mode: ExecutionMode::Synchronous,
+            backend: self.env.kind().label().to_string(),
+            elapsed_secs: iteration_start.as_secs(),
+            iterations: vec![iterations; m],
+            data_messages,
+            control_messages,
+            data_bytes,
+            converged,
+            solution: kernel.assemble(&values),
+            final_residual: worst_residual,
+        };
+        SimulationOutcome {
+            sim_time: iteration_start,
+            trace,
+            network: network.stats(),
+            report,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous (AIAC) simulation
+    // ------------------------------------------------------------------
+
+    fn run_asynchronous(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> SimulationOutcome {
+        let m = kernel.num_blocks();
+        let graph = DependencyGraph::from_kernel(kernel);
+        let mut network = Network::new(self.topology.clone());
+        let thread_cfg = self.env.thread_config(self.problem, m);
+        let mut trace = self.record_trace.then(|| ExecutionTrace::new(m));
+
+        let mut procs: Vec<ProcSim> = (0..m)
+            .map(|b| ProcSim::new(kernel, b, m, config, &thread_cfg))
+            .collect();
+        let mut detector = GlobalDetector::new(m);
+        let mut sim: Simulator<SimEvent> = Simulator::new();
+        let mut stats = Stats::default();
+
+        for b in 0..m {
+            sim.schedule_at(SimTime::ZERO, SimEvent::Iterate { block: b });
+        }
+
+        while let Some(event) = sim.next_event() {
+            let now = event.time;
+            match event.payload {
+                SimEvent::Iterate { block } => {
+                    self.handle_iterate(
+                        kernel,
+                        config,
+                        &graph,
+                        &thread_cfg,
+                        &mut network,
+                        &mut sim,
+                        &mut procs,
+                        &mut stats,
+                        trace.as_mut(),
+                        block,
+                        now,
+                    );
+                }
+                SimEvent::DeliverData {
+                    to,
+                    from,
+                    iteration,
+                    values,
+                } => {
+                    // Data arriving after the processor stopped is simply dropped,
+                    // like a message reaching a terminated process.
+                    if !procs[to].stopped && procs[to].state.incorporate(from, iteration, values) {
+                        procs[to].fresh_since_last = true;
+                    }
+                }
+                SimEvent::DeliverState { from, converged } => {
+                    if detector.report(from, converged) {
+                        // Global convergence: broadcast the stop order.
+                        let coord = self.host_of(0);
+                        for b in 0..m {
+                            let dst = self.host_of(b);
+                            let cost = self.env.message_cost(CONTROL_BYTES);
+                            let arrival = if dst == coord {
+                                now + cost.sender_cpu + cost.receiver_cpu
+                            } else {
+                                network.transfer(
+                                    coord,
+                                    dst,
+                                    CONTROL_BYTES,
+                                    cost.protocol_bytes,
+                                    now,
+                                ) + cost.receiver_cpu
+                            };
+                            stats.control_messages += 1;
+                            sim.schedule_at(arrival, SimEvent::DeliverStop { to: b });
+                        }
+                    }
+                }
+                SimEvent::DeliverStop { to } => {
+                    let proc = &mut procs[to];
+                    if !proc.stopped {
+                        proc.stopped = true;
+                        // The processor leaves the iterative process as soon as
+                        // its in-flight iteration completes.
+                        proc.stop_time = proc.busy_until.max(now);
+                    }
+                }
+            }
+            if procs.iter().all(|p| p.stopped) {
+                break;
+            }
+        }
+
+        let end_time = procs
+            .iter()
+            .map(|p| p.stop_time.max(p.busy_until))
+            .fold(SimTime::ZERO, SimTime::max);
+        let values: Vec<Vec<f64>> = procs.iter().map(|p| p.state.values.clone()).collect();
+        let worst_residual = procs.iter().map(|p| p.state.residual).fold(0.0, f64::max);
+        let report = RunReport {
+            mode: ExecutionMode::Asynchronous,
+            backend: self.env.kind().label().to_string(),
+            elapsed_secs: end_time.as_secs(),
+            iterations: procs.iter().map(|p| p.state.iteration).collect(),
+            data_messages: stats.data_messages,
+            control_messages: stats.control_messages,
+            data_bytes: stats.data_bytes,
+            converged: detector.is_decided(),
+            solution: kernel.assemble(&values),
+            final_residual: worst_residual,
+        };
+        SimulationOutcome {
+            sim_time: end_time,
+            trace,
+            network: network.stats(),
+            report,
+        }
+    }
+
+    /// Processes the start of one asynchronous local iteration.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_iterate(
+        &self,
+        kernel: &dyn IterativeKernel,
+        config: &RunConfig,
+        graph: &DependencyGraph,
+        thread_cfg: &ThreadConfig,
+        network: &mut Network,
+        sim: &mut Simulator<SimEvent>,
+        procs: &mut [ProcSim],
+        stats: &mut Stats,
+        mut trace: Option<&mut ExecutionTrace>,
+        block: usize,
+        now: SimTime,
+    ) {
+        if procs[block].stopped {
+            return;
+        }
+        let host = self.topology.host(self.host_of(block));
+        let compute_end = now + host.compute_time(kernel.iteration_cost(block));
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(block, now, compute_end, Activity::Compute);
+        }
+
+        let fresh_data = procs[block].fresh_since_last;
+        procs[block].fresh_since_last = false;
+        let has_dependencies = !graph.in_neighbours(block).is_empty();
+
+        // Numeric update using whatever dependency data has been delivered so
+        // far (the asynchronous model of Algorithm 1). When nothing new has
+        // arrived and the block already sits at its local fixed point, the
+        // update would reproduce the same values bit for bit, so the (real)
+        // numerical work is skipped while the virtual iteration still takes
+        // place — the simulated machine keeps burning its cycles either way.
+        if !fresh_data && procs[block].state.residual < config.epsilon * 1e-3 {
+            procs[block].state.iteration += 1;
+        } else {
+            procs[block].state.iterate(kernel);
+        }
+        procs[block].busy_until = compute_end;
+
+        // Local convergence is judged on the cumulative drift since the last
+        // window anchor (see `BlockState::drift_from_anchor`); state messages
+        // are sent only on change, and quiet iterations on stale data do not
+        // advance the streak.
+        let drift = kernel.residual_between(
+            block,
+            &procs[block].state.values,
+            procs[block].state.anchor(),
+        );
+        if drift >= config.epsilon {
+            procs[block].state.reset_anchor();
+        }
+        if procs[block]
+            .local
+            .observe_gated(drift, fresh_data || !has_dependencies)
+        {
+            let converged = procs[block].local.is_converged();
+            let coord = self.host_of(0);
+            let src = self.host_of(block);
+            let cost = self.env.message_cost(CONTROL_BYTES);
+            let arrival = if src == coord {
+                compute_end + cost.sender_cpu + cost.receiver_cpu
+            } else {
+                network.transfer(src, coord, CONTROL_BYTES, cost.protocol_bytes, compute_end)
+                    + cost.receiver_cpu
+            };
+            stats.control_messages += 1;
+            sim.schedule_at(
+                arrival,
+                SimEvent::DeliverState {
+                    from: block,
+                    converged,
+                },
+            );
+        }
+
+        // Asynchronous sends to every dependant. A send to a destination is
+        // skipped while the previous transfer to that destination is still in
+        // progress ("data are actually sent only if any previous sending of
+        // the same data to the same destination is terminated").
+        let mut sends_issued = 0usize;
+        for &dst_block in graph.out_neighbours(block) {
+            if compute_end < procs[block].send_busy_until[dst_block] {
+                continue;
+            }
+            let src = self.host_of(block);
+            let dst = self.host_of(dst_block);
+            let payload = kernel.message_bytes(block, dst_block) + CONTROL_BYTES;
+            let cost = self.env.message_cost(payload);
+            let pack_start =
+                compute_end + thread_cfg.send_queue_delay(sends_issued, cost.sender_cpu);
+            let pack_done = pack_start + cost.sender_cpu;
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.record(block, pack_start, pack_done, Activity::Send);
+            }
+            let wire_arrival = if src == dst {
+                pack_done
+            } else {
+                network.transfer(src, dst, payload, cost.protocol_bytes, pack_done)
+            };
+            // Receiver-side dispatch: dedicated pools serialise concurrent
+            // arrivals, on-demand threads pay a spawn cost.
+            let delivered = {
+                let after_dispatch = wire_arrival + cost.dispatch_latency;
+                match thread_cfg.receive {
+                    ReceiveDiscipline::Dedicated(_) => {
+                        let start = procs[dst_block].next_receive_slot(after_dispatch);
+                        let done = start + cost.receiver_cpu;
+                        procs[dst_block].occupy_receive_slot(done);
+                        done
+                    }
+                    ReceiveDiscipline::OnDemand { spawn_cost } => {
+                        after_dispatch + spawn_cost + cost.receiver_cpu
+                    }
+                }
+            };
+            procs[block].send_busy_until[dst_block] = wire_arrival;
+            stats.data_messages += 1;
+            stats.data_bytes += payload;
+            sends_issued += 1;
+            sim.schedule_at(
+                delivered,
+                SimEvent::DeliverData {
+                    to: dst_block,
+                    from: block,
+                    iteration: procs[block].state.iteration,
+                    values: procs[block].state.values.clone(),
+                },
+            );
+        }
+
+        // Next iteration, unless the limit was reached.
+        if procs[block].state.iteration >= config.max_iterations as u64 {
+            procs[block].stopped = true;
+            procs[block].stop_time = compute_end;
+        } else {
+            sim.schedule_at(compute_end, SimEvent::Iterate { block });
+        }
+    }
+}
+
+/// Events of the asynchronous simulation.
+enum SimEvent {
+    /// A block starts a local iteration.
+    Iterate { block: usize },
+    /// A data message reaches (and is unpacked at) its destination.
+    DeliverData {
+        to: usize,
+        from: usize,
+        iteration: u64,
+        values: Vec<f64>,
+    },
+    /// A local-convergence state report reaches the central detector.
+    DeliverState { from: usize, converged: bool },
+    /// The stop order reaches a block.
+    DeliverStop { to: usize },
+}
+
+/// Message counters of a simulated run.
+#[derive(Debug, Default)]
+struct Stats {
+    data_messages: u64,
+    control_messages: u64,
+    data_bytes: u64,
+}
+
+/// Per-block simulation state.
+struct ProcSim {
+    state: BlockState,
+    local: LocalConvergence,
+    stopped: bool,
+    /// True when at least one new dependency message arrived since the last
+    /// iteration started.
+    fresh_since_last: bool,
+    /// Virtual time until which the current/last iteration runs.
+    busy_until: SimTime,
+    /// Time at which the block actually stopped (stop received or limit hit).
+    stop_time: SimTime,
+    /// Per-destination completion time of the last transfer, used to skip
+    /// sends while a previous one is still in flight.
+    send_busy_until: Vec<SimTime>,
+    /// Free times of the dedicated receiving threads (empty for on-demand).
+    receive_slots: Vec<SimTime>,
+}
+
+impl ProcSim {
+    fn new(
+        kernel: &dyn IterativeKernel,
+        block: usize,
+        num_blocks: usize,
+        config: &RunConfig,
+        thread_cfg: &ThreadConfig,
+    ) -> Self {
+        let pool = match thread_cfg.receive {
+            ReceiveDiscipline::Dedicated(n) => n.max(1),
+            ReceiveDiscipline::OnDemand { .. } => 0,
+        };
+        Self {
+            state: BlockState::new(kernel, block),
+            local: LocalConvergence::new(config.epsilon, config.convergence_streak),
+            stopped: false,
+            fresh_since_last: false,
+            busy_until: SimTime::ZERO,
+            stop_time: SimTime::ZERO,
+            send_busy_until: vec![SimTime::ZERO; num_blocks],
+            receive_slots: vec![SimTime::ZERO; pool],
+        }
+    }
+
+    /// Earliest time a dedicated receiving thread can start handling a
+    /// message that arrived at `arrival`.
+    fn next_receive_slot(&self, arrival: SimTime) -> SimTime {
+        self.receive_slots
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO)
+            .max(arrival)
+    }
+
+    /// Marks the earliest-free dedicated receiving thread as busy until
+    /// `until`.
+    fn occupy_receive_slot(&mut self, until: SimTime) {
+        if let Some(slot) = self
+            .receive_slots
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+        {
+            *slot = until;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::test_kernels::{Diverging, RingContraction};
+    use crate::runtime::sequential::SequentialRuntime;
+
+    fn grid(n: usize) -> GridTopology {
+        GridTopology::ethernet_3_sites(n)
+    }
+
+    #[test]
+    fn synchronous_simulation_matches_sequential_solution() {
+        let kernel = RingContraction::new(6);
+        let config = RunConfig::synchronous(1e-10);
+        let seq = SequentialRuntime::new().run(&kernel, &config);
+        let sim = SimulatedRuntime::new(grid(6), EnvKind::MpiSync, ProblemKind::SparseLinear)
+            .run(&kernel, &config);
+        assert!(sim.report.converged);
+        assert_eq!(sim.report.iterations[0], seq.iterations[0]);
+        for (a, b) in sim.report.solution.iter().zip(&seq.solution) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(sim.sim_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn asynchronous_simulation_converges_to_the_fixed_point() {
+        let kernel = RingContraction::new(6);
+        let config = RunConfig::asynchronous(1e-10).with_streak(3);
+        for env in EnvKind::ASYNC {
+            let sim = SimulatedRuntime::new(grid(6), env, ProblemKind::SparseLinear)
+                .run(&kernel, &config);
+            assert!(sim.report.converged, "{env} failed to converge");
+            let fp = kernel.fixed_point();
+            for v in &sim.report.solution {
+                assert!((v - fp).abs() < 1e-6, "{env}: {v} vs {fp}");
+            }
+            assert!(sim.report.data_messages > 0);
+        }
+    }
+
+    #[test]
+    fn async_is_faster_than_sync_on_a_distant_grid() {
+        // The headline qualitative result of the paper.
+        let kernel = RingContraction::new(9);
+        let sync = SimulatedRuntime::new(grid(9), EnvKind::MpiSync, ProblemKind::SparseLinear)
+            .run(&kernel, &RunConfig::synchronous(1e-9));
+        let async_run =
+            SimulatedRuntime::new(grid(9), EnvKind::Pm2, ProblemKind::SparseLinear)
+                .run(&kernel, &RunConfig::asynchronous(1e-9).with_streak(3));
+        assert!(sync.report.converged && async_run.report.converged);
+        assert!(
+            async_run.report.elapsed_secs < sync.report.elapsed_secs,
+            "async {} s should beat sync {} s",
+            async_run.report.elapsed_secs,
+            sync.report.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn asynchronous_runs_are_deterministic() {
+        let kernel = RingContraction::new(5);
+        let config = RunConfig::asynchronous(1e-9);
+        let run = || {
+            SimulatedRuntime::new(grid(5), EnvKind::OmniOrb, ProblemKind::SparseLinear)
+                .run(&kernel, &config)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.report.elapsed_secs, b.report.elapsed_secs);
+        assert_eq!(a.report.iterations, b.report.iterations);
+        assert_eq!(a.report.data_messages, b.report.data_messages);
+    }
+
+    #[test]
+    fn heterogeneous_hosts_do_different_amounts_of_work() {
+        let kernel = RingContraction::new(6);
+        let topo = GridTopology::local_hetero_cluster(6);
+        let sim = SimulatedRuntime::new(topo, EnvKind::Pm2, ProblemKind::SparseLinear)
+            .run(&kernel, &RunConfig::asynchronous(1e-10));
+        // host 2 is the fastest (P4 2.4), host 0 the slowest (Duron 800):
+        // in an asynchronous run the fast block iterates more often.
+        assert!(sim.report.iterations[2] > sim.report.iterations[0]);
+    }
+
+    #[test]
+    fn sync_mode_on_mono_threaded_mpi_is_allowed_but_async_is_not() {
+        let kernel = RingContraction::new(3);
+        let runtime = SimulatedRuntime::new(grid(3), EnvKind::MpiSync, ProblemKind::SparseLinear);
+        let ok = runtime.run(&kernel, &RunConfig::synchronous(1e-8));
+        assert!(ok.report.converged);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runtime.run(&kernel, &RunConfig::asynchronous(1e-8))
+        }));
+        assert!(result.is_err(), "AIAC on mono-threaded MPI must be rejected");
+    }
+
+    #[test]
+    fn iteration_limit_stops_non_convergent_asynchronous_runs() {
+        let kernel = Diverging { blocks: 4 };
+        let config = RunConfig::asynchronous(1e-12).with_max_iterations(40);
+        let sim = SimulatedRuntime::new(grid(4), EnvKind::MpiMadeleine, ProblemKind::SparseLinear)
+            .run(&kernel, &config);
+        assert!(!sim.report.converged);
+        assert!(sim.report.iterations.iter().all(|&i| i <= 40));
+    }
+
+    #[test]
+    fn tracing_records_compute_and_idle_time() {
+        let kernel = RingContraction::new(2);
+        let sync = SimulatedRuntime::new(grid(2), EnvKind::MpiSync, ProblemKind::SparseLinear)
+            .with_trace(true)
+            .run(&kernel, &RunConfig::synchronous(1e-8));
+        let trace = sync.trace.expect("trace requested");
+        assert!(trace.time_in(0, Activity::Compute) > SimTime::ZERO);
+        assert!(trace.time_in(0, Activity::Idle) > SimTime::ZERO, "SISC has idle time");
+
+        let async_run = SimulatedRuntime::new(grid(2), EnvKind::Pm2, ProblemKind::SparseLinear)
+            .with_trace(true)
+            .run(&kernel, &RunConfig::asynchronous(1e-8));
+        let atrace = async_run.trace.expect("trace requested");
+        assert!(atrace.time_in(0, Activity::Compute) > SimTime::ZERO);
+        // AIAC processors never wait between iterations.
+        assert_eq!(atrace.time_in(0, Activity::Idle), SimTime::ZERO);
+    }
+
+    #[test]
+    fn more_blocks_than_hosts_are_placed_round_robin() {
+        let kernel = RingContraction::new(8);
+        let runtime = SimulatedRuntime::new(grid(4), EnvKind::Pm2, ProblemKind::SparseLinear);
+        assert_eq!(runtime.host_of(0), runtime.host_of(4));
+        let sim = runtime.run(&kernel, &RunConfig::asynchronous(1e-8));
+        assert!(sim.report.converged);
+    }
+}

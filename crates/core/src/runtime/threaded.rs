@@ -1,0 +1,489 @@
+//! The threaded runtime: real OS threads, one per block.
+//!
+//! This back-end is the library's "production" executor on a multicore
+//! machine. It maps every block of the kernel to a worker thread and
+//! exchanges block data through unbounded crossbeam channels:
+//!
+//! * **Synchronous mode (SISC)** — every iteration ends with a data exchange
+//!   and two barriers, so all workers execute the same iteration number and
+//!   the iterates are bit-identical to the sequential Jacobi sweep. The idle
+//!   time spent at the barriers is exactly the white space of Figure 1.
+//! * **Asynchronous mode (AIAC)** — workers never wait: they drain whatever
+//!   messages have arrived, iterate on the data they have, send their new
+//!   values to their dependants and immediately start the next iteration, as
+//!   in Figure 2. Local convergence is tracked with the streak rule and
+//!   reported to a centralized detector (run by the main thread) only on
+//!   state changes; the detector broadcasts a stop signal once every block is
+//!   locally converged.
+
+use crate::block::BlockState;
+use crate::config::{ExecutionMode, RunConfig};
+use crate::convergence::{GlobalDetector, LocalConvergence};
+use crate::depgraph::DependencyGraph;
+use crate::kernel::IterativeKernel;
+use crate::message::Message;
+use crate::report::RunReport;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// What a worker tells the coordinator.
+enum CoordEvent {
+    /// The worker's local convergence state changed.
+    StateChange { block: usize, converged: bool },
+    /// The worker finished (stop received, converged, or iteration limit).
+    Finished,
+}
+
+/// Final per-worker result returned to the main thread.
+struct WorkerResult {
+    block: usize,
+    values: Vec<f64>,
+    iterations: u64,
+    residual: f64,
+}
+
+/// Multi-threaded executor (one OS thread per block).
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedRuntime {
+    _private: (),
+}
+
+impl ThreadedRuntime {
+    /// Creates the runtime.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the kernel with the requested mode and returns the report.
+    pub fn run(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> RunReport {
+        config.validate();
+        match config.mode {
+            ExecutionMode::Synchronous => self.run_synchronous(kernel, config),
+            ExecutionMode::Asynchronous => self.run_asynchronous(kernel, config),
+        }
+    }
+
+    fn run_synchronous(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> RunReport {
+        let m = kernel.num_blocks();
+        let graph = DependencyGraph::from_kernel(kernel);
+        let started = Instant::now();
+
+        // Data channels, one inbox per block.
+        let mut senders = Vec::with_capacity(m);
+        let mut receivers = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (tx, rx) = unbounded::<Message>();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let barrier = Barrier::new(m);
+        let residuals: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(0)).collect();
+        let stop = AtomicBool::new(false);
+        let data_messages = AtomicU64::new(0);
+        let data_bytes = AtomicU64::new(0);
+        let (result_tx, result_rx) = unbounded::<WorkerResult>();
+
+        crossbeam::scope(|scope| {
+            for block in 0..m {
+                let rx = receivers[block].take().expect("receiver already taken");
+                let senders = &senders;
+                let graph = &graph;
+                let barrier = &barrier;
+                let residuals = &residuals;
+                let stop = &stop;
+                let data_messages = &data_messages;
+                let data_bytes = &data_bytes;
+                let result_tx = result_tx.clone();
+                scope.spawn(move |_| {
+                    sync_worker(
+                        kernel,
+                        config,
+                        block,
+                        rx,
+                        senders,
+                        graph,
+                        barrier,
+                        residuals,
+                        stop,
+                        data_messages,
+                        data_bytes,
+                        result_tx,
+                    );
+                });
+            }
+        })
+        .expect("a synchronous worker thread panicked");
+        drop(result_tx);
+
+        let converged = stop.load(Ordering::SeqCst);
+        finalize_report(
+            kernel,
+            ExecutionMode::Synchronous,
+            "threaded sync",
+            started,
+            result_rx,
+            data_messages.load(Ordering::SeqCst),
+            0,
+            data_bytes.load(Ordering::SeqCst),
+            converged,
+        )
+    }
+
+    fn run_asynchronous(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> RunReport {
+        let m = kernel.num_blocks();
+        let graph = DependencyGraph::from_kernel(kernel);
+        let started = Instant::now();
+
+        let mut senders = Vec::with_capacity(m);
+        let mut receivers = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (tx, rx) = unbounded::<Message>();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let (coord_tx, coord_rx) = unbounded::<CoordEvent>();
+        let (result_tx, result_rx) = unbounded::<WorkerResult>();
+        let stop = AtomicBool::new(false);
+        let data_messages = AtomicU64::new(0);
+        let control_messages = AtomicU64::new(0);
+        let data_bytes = AtomicU64::new(0);
+        let mut detector = GlobalDetector::new(m);
+
+        crossbeam::scope(|scope| {
+            for block in 0..m {
+                let rx = receivers[block].take().expect("receiver already taken");
+                let senders = &senders;
+                let graph = &graph;
+                let stop = &stop;
+                let data_messages = &data_messages;
+                let control_messages = &control_messages;
+                let data_bytes = &data_bytes;
+                let coord_tx = coord_tx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move |_| {
+                    async_worker(
+                        kernel,
+                        config,
+                        block,
+                        rx,
+                        senders,
+                        graph,
+                        stop,
+                        data_messages,
+                        control_messages,
+                        data_bytes,
+                        coord_tx,
+                        result_tx,
+                    );
+                });
+            }
+            drop(coord_tx);
+
+            // The main thread plays the role of the paper's central node:
+            // it gathers state messages and broadcasts the stop order.
+            let mut finished = 0usize;
+            while finished < m {
+                match coord_rx.recv() {
+                    Ok(CoordEvent::StateChange { block, converged }) => {
+                        if detector.report(block, converged) {
+                            stop.store(true, Ordering::SeqCst);
+                            for tx in senders.iter() {
+                                // Workers also poll the stop flag; the explicit
+                                // message mirrors the paper's halting procedure.
+                                let _ = tx.send(Message::Stop);
+                            }
+                        }
+                    }
+                    Ok(CoordEvent::Finished) => finished += 1,
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("an asynchronous worker thread panicked");
+        drop(result_tx);
+
+        finalize_report(
+            kernel,
+            ExecutionMode::Asynchronous,
+            "threaded async",
+            started,
+            result_rx,
+            data_messages.load(Ordering::SeqCst),
+            control_messages.load(Ordering::SeqCst),
+            data_bytes.load(Ordering::SeqCst),
+            detector.is_decided(),
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sync_worker(
+    kernel: &dyn IterativeKernel,
+    config: &RunConfig,
+    block: usize,
+    rx: Receiver<Message>,
+    senders: &[Sender<Message>],
+    graph: &DependencyGraph,
+    barrier: &Barrier,
+    residuals: &[AtomicU64],
+    stop: &AtomicBool,
+    data_messages: &AtomicU64,
+    data_bytes: &AtomicU64,
+    result_tx: Sender<WorkerResult>,
+) {
+    let mut state = BlockState::new(kernel, block);
+    let max_iter = config.max_iterations as u64;
+
+    while state.iteration < max_iter {
+        let residual = state.iterate(kernel);
+        residuals[block].store(residual.to_bits(), Ordering::SeqCst);
+
+        // Exchange: send the new values to every dependant.
+        for &dst in graph.out_neighbours(block) {
+            let msg = Message::Data {
+                from: block,
+                iteration: state.iteration,
+                values: state.values.clone(),
+            };
+            data_bytes.fetch_add(msg.payload_bytes(), Ordering::Relaxed);
+            data_messages.fetch_add(1, Ordering::Relaxed);
+            let _ = senders[dst].send(msg);
+        }
+        // Barrier A: all sends of this iteration are in flight.
+        barrier.wait();
+        // Incorporate everything received for this iteration.
+        while let Ok(msg) = rx.try_recv() {
+            if let Message::Data {
+                from,
+                iteration,
+                values,
+            } = msg
+            {
+                state.incorporate(from, iteration, values);
+            }
+        }
+        // Block 0 evaluates the global stopping criterion (the synchronous
+        // algorithm checks the true global residual).
+        if block == 0 {
+            let worst = residuals
+                .iter()
+                .map(|r| f64::from_bits(r.load(Ordering::SeqCst)))
+                .fold(0.0f64, f64::max);
+            if worst < config.epsilon {
+                stop.store(true, Ordering::SeqCst);
+            }
+        }
+        // Barrier B: everyone sees the decision for this iteration.
+        barrier.wait();
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    let _ = result_tx.send(WorkerResult {
+        block,
+        values: state.values,
+        iterations: state.iteration,
+        residual: state.residual,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn async_worker(
+    kernel: &dyn IterativeKernel,
+    config: &RunConfig,
+    block: usize,
+    rx: Receiver<Message>,
+    senders: &[Sender<Message>],
+    graph: &DependencyGraph,
+    stop: &AtomicBool,
+    data_messages: &AtomicU64,
+    control_messages: &AtomicU64,
+    data_bytes: &AtomicU64,
+    coord_tx: Sender<CoordEvent>,
+    result_tx: Sender<WorkerResult>,
+) {
+    let mut state = BlockState::new(kernel, block);
+    let mut local = LocalConvergence::new(config.epsilon, config.convergence_streak);
+    let max_iter = config.max_iterations as u64;
+    let has_dependencies = !graph.in_neighbours(block).is_empty();
+    let mut stop_received = false;
+
+    loop {
+        // Receive whatever has arrived, without ever blocking (the paper's
+        // separate receiving threads; the newest version wins).
+        let mut fresh_data = false;
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                Message::Data {
+                    from,
+                    iteration,
+                    values,
+                } => {
+                    fresh_data |= state.incorporate(from, iteration, values);
+                }
+                Message::Stop => stop_received = true,
+                Message::State { .. } => {}
+            }
+        }
+        if stop_received || stop.load(Ordering::SeqCst) || state.iteration >= max_iter {
+            break;
+        }
+
+        state.iterate(kernel);
+
+        // Local convergence is judged on the cumulative drift since the last
+        // window anchor, so that a round of updates split over many cheap
+        // iterations is not under-measured. Quiet iterations on stale data do
+        // not advance the streak; reports go out only when the state changes.
+        let drift = kernel.residual_between(block, &state.values, state.anchor());
+        if drift >= config.epsilon {
+            state.reset_anchor();
+        }
+        if local.observe_gated(drift, fresh_data || !has_dependencies) {
+            control_messages.fetch_add(1, Ordering::Relaxed);
+            let _ = coord_tx.send(CoordEvent::StateChange {
+                block,
+                converged: local.is_converged(),
+            });
+        }
+
+        // Send the fresh values to every dependant, asynchronously.
+        for &dst in graph.out_neighbours(block) {
+            let msg = Message::Data {
+                from: block,
+                iteration: state.iteration,
+                values: state.values.clone(),
+            };
+            data_bytes.fetch_add(msg.payload_bytes(), Ordering::Relaxed);
+            data_messages.fetch_add(1, Ordering::Relaxed);
+            let _ = senders[dst].send(msg);
+        }
+        std::thread::yield_now();
+    }
+
+    let _ = coord_tx.send(CoordEvent::Finished);
+    let _ = result_tx.send(WorkerResult {
+        block,
+        values: state.values,
+        iterations: state.iteration,
+        residual: state.residual,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finalize_report(
+    kernel: &dyn IterativeKernel,
+    mode: ExecutionMode,
+    backend: &str,
+    started: Instant,
+    result_rx: Receiver<WorkerResult>,
+    data_messages: u64,
+    control_messages: u64,
+    data_bytes: u64,
+    converged: bool,
+) -> RunReport {
+    let m = kernel.num_blocks();
+    let mut values = vec![Vec::new(); m];
+    let mut iterations = vec![0u64; m];
+    let mut final_residual = 0.0f64;
+    let mut collected = 0usize;
+    while let Ok(res) = result_rx.try_recv() {
+        values[res.block] = res.values;
+        iterations[res.block] = res.iterations;
+        final_residual = final_residual.max(res.residual);
+        collected += 1;
+    }
+    assert_eq!(collected, m, "missing worker results");
+    RunReport {
+        mode,
+        backend: backend.to_string(),
+        elapsed_secs: started.elapsed().as_secs_f64(),
+        iterations,
+        data_messages,
+        control_messages,
+        data_bytes,
+        converged,
+        solution: kernel.assemble(&values),
+        final_residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::test_kernels::{Diverging, RingContraction};
+    use crate::runtime::sequential::SequentialRuntime;
+
+    #[test]
+    fn synchronous_threaded_matches_sequential_exactly() {
+        let kernel = RingContraction::new(4);
+        let config = RunConfig::synchronous(1e-10);
+        let seq = SequentialRuntime::new().run(&kernel, &config);
+        let par = ThreadedRuntime::new().run(&kernel, &config);
+        assert!(par.converged);
+        assert_eq!(par.iterations[0], seq.iterations[0]);
+        for (a, b) in par.solution.iter().zip(&seq.solution) {
+            assert_eq!(a, b, "synchronous iterates must be identical");
+        }
+    }
+
+    #[test]
+    fn asynchronous_threaded_converges_to_the_fixed_point() {
+        let kernel = RingContraction::new(6);
+        let config = RunConfig::asynchronous(1e-10).with_streak(5);
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        assert!(report.converged, "AIAC run should detect global convergence");
+        let fp = kernel.fixed_point();
+        for v in &report.solution {
+            assert!((v - fp).abs() < 1e-6, "value {v} vs fixed point {fp}");
+        }
+        assert!(report.data_messages > 0);
+        assert!(report.control_messages > 0);
+    }
+
+    #[test]
+    fn asynchronous_workers_may_run_different_iteration_counts() {
+        let kernel = RingContraction::new(4);
+        let config = RunConfig::asynchronous(1e-12);
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        assert_eq!(report.iterations.len(), 4);
+        assert!(report.iterations.iter().all(|&i| i > 0));
+    }
+
+    #[test]
+    fn diverging_problem_hits_the_iteration_limit_in_both_modes() {
+        let kernel = Diverging { blocks: 3 };
+        for config in [
+            RunConfig::synchronous(1e-10).with_max_iterations(50),
+            RunConfig::asynchronous(1e-10).with_max_iterations(50),
+        ] {
+            let report = ThreadedRuntime::new().run(&kernel, &config);
+            assert!(!report.converged, "{:?} must not converge", config.mode);
+            assert!(report.iterations.iter().all(|&i| i <= 50));
+        }
+    }
+
+    #[test]
+    fn single_block_async_run_works() {
+        let kernel = RingContraction::new(1);
+        let report = ThreadedRuntime::new().run(&kernel, &RunConfig::asynchronous(1e-10));
+        assert!(report.converged);
+        assert!((report.solution[0] - kernel.fixed_point()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sync_mode_counts_messages_along_ring_edges() {
+        let kernel = RingContraction::new(5);
+        let config = RunConfig::synchronous(1e-8);
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        // 2 out-neighbours per block, 5 blocks, one message per edge per iteration
+        assert_eq!(
+            report.data_messages,
+            10 * report.iterations[0],
+            "each iteration sends one message per directed edge"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Deployment characteristics (Section 5.3 of the paper).
+//!
+//! Besides raw performance, the paper compares how easily each environment is
+//! deployed over a multi-site grid: whether every machine must see every
+//! other one (complete connection graph), whether heterogeneous data
+//! representations are converted automatically, whether a run-time service
+//! (the CORBA naming service) must be operated, and how many configuration
+//! files / launch commands a run takes. [`DeploymentProfile`] captures those
+//! facts so the harness can print the qualitative comparison next to the
+//! timings, and so tests can assert that the models agree with the paper's
+//! conclusions (OmniORB easiest to deploy, PM2 the most restrictive).
+
+use serde::{Deserialize, Serialize};
+
+/// Connection-graph requirement of an environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnectionGraph {
+    /// Every processor must be able to open a connection to every other one.
+    Complete,
+    /// An incomplete graph is tolerated (e.g. client/server relaying through
+    /// reachable nodes), which helps with firewalls between sites.
+    IncompleteAllowed,
+}
+
+/// Deployment profile of an environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentProfile {
+    /// Connection-graph requirement.
+    pub connection_graph: ConnectionGraph,
+    /// Whether data representation differences between heterogeneous machines
+    /// are converted automatically by the environment.
+    pub auto_data_conversion: bool,
+    /// Whether a separate run-time service (e.g. a naming service) must be
+    /// running somewhere on the grid.
+    pub needs_runtime_service: bool,
+    /// Whether several communication protocols can be mixed in one
+    /// application (the Madeleine 3 feature).
+    pub multi_protocol: bool,
+    /// Number of configuration files needed for a run.
+    pub config_files: u8,
+    /// Number of commands needed to launch a run.
+    pub launch_commands: u8,
+    /// Free-text summary, used by the harness when printing the comparison.
+    pub notes: &'static str,
+}
+
+impl DeploymentProfile {
+    /// A coarse ease-of-deployment score on a 1–5 scale (5 = easiest),
+    /// derived from the recorded facts: incomplete graphs and automatic data
+    /// conversion help, mandatory run-time services and extra configuration
+    /// files hurt.
+    pub fn ease_score(&self) -> u8 {
+        let mut score: i32 = 3;
+        if self.connection_graph == ConnectionGraph::IncompleteAllowed {
+            score += 1;
+        }
+        if self.auto_data_conversion {
+            score += 1;
+        }
+        if self.needs_runtime_service {
+            score -= 1;
+        }
+        score -= i32::from(self.config_files.saturating_sub(1)) / 2;
+        score.clamp(1, 5) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvKind;
+
+    #[test]
+    fn ease_score_stays_in_range() {
+        for kind in EnvKind::ALL {
+            let profile = kind.build().deployment();
+            let score = profile.ease_score();
+            assert!((1..=5).contains(&score), "{kind}: score {score}");
+        }
+    }
+
+    #[test]
+    fn omniorb_is_easiest_to_deploy() {
+        // Section 5.3: "the advantage clearly goes to OmniORB 4".
+        let orb = EnvKind::OmniOrb.build().deployment().ease_score();
+        let pm2 = EnvKind::Pm2.build().deployment().ease_score();
+        let mpi_mad = EnvKind::MpiMadeleine.build().deployment().ease_score();
+        assert!(orb > pm2);
+        assert!(orb >= mpi_mad);
+    }
+
+    #[test]
+    fn pm2_requires_complete_graph_without_data_conversion() {
+        let p = EnvKind::Pm2.build().deployment();
+        assert_eq!(p.connection_graph, ConnectionGraph::Complete);
+        assert!(!p.auto_data_conversion);
+        assert!(!p.needs_runtime_service);
+    }
+
+    #[test]
+    fn omniorb_tolerates_incomplete_graphs_but_needs_naming_service() {
+        let p = EnvKind::OmniOrb.build().deployment();
+        assert_eq!(p.connection_graph, ConnectionGraph::IncompleteAllowed);
+        assert!(p.auto_data_conversion);
+        assert!(p.needs_runtime_service);
+    }
+
+    #[test]
+    fn mpi_mad_is_multi_protocol() {
+        let p = EnvKind::MpiMadeleine.build().deployment();
+        assert!(p.multi_protocol);
+        assert_eq!(p.config_files, 2);
+    }
+
+    #[test]
+    fn scoring_rewards_flexibility_and_penalises_services() {
+        let easy = DeploymentProfile {
+            connection_graph: ConnectionGraph::IncompleteAllowed,
+            auto_data_conversion: true,
+            needs_runtime_service: false,
+            multi_protocol: false,
+            config_files: 1,
+            launch_commands: 1,
+            notes: "",
+        };
+        let hard = DeploymentProfile {
+            connection_graph: ConnectionGraph::Complete,
+            auto_data_conversion: false,
+            needs_runtime_service: true,
+            multi_protocol: false,
+            config_files: 3,
+            launch_commands: 3,
+            notes: "",
+        };
+        assert!(easy.ease_score() > hard.ease_score());
+    }
+}

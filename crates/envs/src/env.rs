@@ -1,0 +1,208 @@
+//! The [`Environment`] trait and its supporting types.
+//!
+//! An environment model answers three questions the simulated runtime asks
+//! when it executes an AIAC algorithm "implemented with" that middleware:
+//!
+//! 1. *What does a message cost?* — CPU time spent packing/marshalling on the
+//!    sender, CPU time spent dispatching/unpacking on the receiver, protocol
+//!    bytes added on the wire, and any extra dispatch latency
+//!    ([`MessageCost`]).
+//! 2. *How are communications threaded?* — how many sending threads the
+//!    implementation uses and whether receptions are handled by dedicated
+//!    threads or by threads created on demand
+//!    ([`crate::threads::ThreadConfig`], Table 4 of the paper).
+//! 3. *How is it deployed?* — connection-graph requirements, data-conversion
+//!    support and run-time services ([`crate::deploy::DeploymentProfile`],
+//!    Section 5.3).
+
+use crate::deploy::DeploymentProfile;
+use crate::threads::{ProblemKind, ThreadConfig};
+use aiac_netsim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the modelled programming environments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnvKind {
+    /// Classical single-threaded MPI, used for the synchronous (SISC)
+    /// baseline of the paper.
+    MpiSync,
+    /// PM2 (Marcel threads + Madeleine communications, RPC style).
+    Pm2,
+    /// MPICH/Madeleine — thread-safe MPI on top of Marcel.
+    MpiMadeleine,
+    /// OmniORB 4 — a CORBA object request broker.
+    OmniOrb,
+}
+
+impl EnvKind {
+    /// All environments, in the order the paper's tables list them.
+    pub const ALL: [EnvKind; 4] = [
+        EnvKind::MpiSync,
+        EnvKind::Pm2,
+        EnvKind::MpiMadeleine,
+        EnvKind::OmniOrb,
+    ];
+
+    /// The three environments used for the asynchronous (AIAC) versions.
+    pub const ASYNC: [EnvKind; 3] = [EnvKind::Pm2, EnvKind::MpiMadeleine, EnvKind::OmniOrb];
+
+    /// Short display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnvKind::MpiSync => "sync MPI",
+            EnvKind::Pm2 => "async PM2",
+            EnvKind::MpiMadeleine => "async MPI/Mad",
+            EnvKind::OmniOrb => "async OmniORB 4",
+        }
+    }
+
+    /// Builds the boxed environment model for this kind.
+    pub fn build(self) -> Box<dyn Environment> {
+        match self {
+            EnvKind::MpiSync => Box::new(crate::mpi_sync::MpiSync::new()),
+            EnvKind::Pm2 => Box::new(crate::pm2::Pm2::new()),
+            EnvKind::MpiMadeleine => Box::new(crate::mpi_mad::MpiMadeleine::new()),
+            EnvKind::OmniOrb => Box::new(crate::omniorb::OmniOrb::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for EnvKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The conceptual communication style of an environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommStyle {
+    /// Explicit message passing (send/receive pairs localised in the code).
+    ExplicitMessage,
+    /// Remote procedure call with explicit data packing (PM2).
+    RemoteProcedureCall,
+    /// Object-oriented remote invocation (CORBA).
+    ObjectInvocation,
+}
+
+/// The cost model of one message exchanged through an environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageCost {
+    /// CPU time the *sender* spends packing / marshalling the message,
+    /// expressed in seconds on the reference machine.
+    pub sender_cpu: SimTime,
+    /// CPU time the *receiver* spends dispatching / unpacking the message,
+    /// in reference-machine seconds.
+    pub receiver_cpu: SimTime,
+    /// Protocol framing added to the payload on the wire (headers,
+    /// marshalling expansion), in bytes.
+    pub protocol_bytes: u64,
+    /// Extra one-way latency introduced by the environment's dispatch path
+    /// (RPC handshake, ORB request routing, thread wake-up).
+    pub dispatch_latency: SimTime,
+}
+
+impl MessageCost {
+    /// A zero-cost message, useful as an identity element in tests.
+    pub fn free() -> Self {
+        Self {
+            sender_cpu: SimTime::ZERO,
+            receiver_cpu: SimTime::ZERO,
+            protocol_bytes: 0,
+            dispatch_latency: SimTime::ZERO,
+        }
+    }
+}
+
+/// A model of a parallel programming environment.
+pub trait Environment: Send + Sync {
+    /// Which environment this is.
+    fn kind(&self) -> EnvKind;
+
+    /// Human-readable name (e.g. `"MPICH/Madeleine"`).
+    fn name(&self) -> &str;
+
+    /// The conceptual communication style.
+    fn comm_style(&self) -> CommStyle;
+
+    /// Whether the environment provides the multi-threading needed to run
+    /// AIAC algorithms efficiently (the paper's key requirement from
+    /// Section 2). The mono-threaded MPI baseline returns `false`.
+    fn supports_async(&self) -> bool;
+
+    /// The cost of one message carrying `payload_bytes` of application data.
+    fn message_cost(&self, payload_bytes: u64) -> MessageCost;
+
+    /// The thread configuration the paper's implementation of `problem` used
+    /// with this environment on `num_procs` processors (Table 4).
+    fn thread_config(&self, problem: ProblemKind, num_procs: usize) -> ThreadConfig;
+
+    /// Deployment characteristics (Section 5.3).
+    fn deployment(&self) -> DeploymentProfile;
+
+    /// Ease-of-programming score on a 1–5 scale as discussed in Section 5.2
+    /// (5 = easiest). Subjective in the paper, encoded here so the harness
+    /// can print the qualitative comparison alongside the timings.
+    fn ease_of_programming(&self) -> u8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_build_consistent_models() {
+        for kind in EnvKind::ALL {
+            let env = kind.build();
+            assert_eq!(env.kind(), kind);
+            assert!(!env.name().is_empty());
+            let score = env.ease_of_programming();
+            assert!((1..=5).contains(&score));
+        }
+    }
+
+    #[test]
+    fn async_environments_support_async() {
+        for kind in EnvKind::ASYNC {
+            assert!(kind.build().supports_async(), "{kind} must support AIAC");
+        }
+        assert!(!EnvKind::MpiSync.build().supports_async());
+    }
+
+    #[test]
+    fn labels_match_paper_wording() {
+        assert_eq!(EnvKind::MpiSync.label(), "sync MPI");
+        assert_eq!(EnvKind::OmniOrb.label(), "async OmniORB 4");
+        assert_eq!(format!("{}", EnvKind::Pm2), "async PM2");
+    }
+
+    #[test]
+    fn message_costs_grow_with_payload() {
+        for kind in EnvKind::ALL {
+            let env = kind.build();
+            let small = env.message_cost(1_000);
+            let large = env.message_cost(1_000_000);
+            assert!(
+                large.sender_cpu >= small.sender_cpu,
+                "{kind}: sender cost must not shrink with payload"
+            );
+            assert!(large.receiver_cpu >= small.receiver_cpu);
+        }
+    }
+
+    #[test]
+    fn free_cost_is_all_zero() {
+        let c = MessageCost::free();
+        assert_eq!(c.sender_cpu, SimTime::ZERO);
+        assert_eq!(c.receiver_cpu, SimTime::ZERO);
+        assert_eq!(c.protocol_bytes, 0);
+        assert_eq!(c.dispatch_latency, SimTime::ZERO);
+    }
+
+    #[test]
+    fn orb_marshalling_is_heavier_than_mpi() {
+        let mpi = EnvKind::MpiMadeleine.build().message_cost(100_000);
+        let orb = EnvKind::OmniOrb.build().message_cost(100_000);
+        assert!(orb.sender_cpu > mpi.sender_cpu);
+        assert!(orb.protocol_bytes > mpi.protocol_bytes);
+    }
+}

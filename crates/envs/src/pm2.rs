@@ -1,0 +1,133 @@
+//! The PM2 model.
+//!
+//! PM2 (Parallel Multithreaded Machine) couples the Marcel thread package
+//! with the Madeleine communication interface and exposes a remote procedure
+//! call programming style with explicit data packing. It is the environment
+//! the authors had used for their earlier AIAC implementations and the one
+//! with "the steadiest behaviour" in the experiments. Its Table 4
+//! configurations use one or two sending threads with receiving handlers
+//! activated on demand (sparse problem) or a single receiving thread
+//! (non-linear problem).
+
+use crate::deploy::{ConnectionGraph, DeploymentProfile};
+use crate::env::{CommStyle, EnvKind, Environment, MessageCost};
+use crate::threads::{ProblemKind, ThreadConfig};
+use aiac_netsim::time::SimTime;
+
+/// Model of the PM2 environment.
+#[derive(Debug, Clone, Default)]
+pub struct Pm2 {
+    _private: (),
+}
+
+impl Pm2 {
+    /// Creates the model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// CPU cost of creating / waking a Marcel handler thread for an incoming
+    /// RPC (user-level threads are cheap).
+    fn spawn_cost() -> SimTime {
+        SimTime::from_micros(40.0)
+    }
+}
+
+impl Environment for Pm2 {
+    fn kind(&self) -> EnvKind {
+        EnvKind::Pm2
+    }
+
+    fn name(&self) -> &str {
+        "PM2 (Marcel threads + Madeleine, RPC with explicit packing)"
+    }
+
+    fn comm_style(&self) -> CommStyle {
+        CommStyle::RemoteProcedureCall
+    }
+
+    fn supports_async(&self) -> bool {
+        true
+    }
+
+    fn message_cost(&self, payload_bytes: u64) -> MessageCost {
+        MessageCost {
+            // Explicit pack/unpack of every buffer before/after the RPC.
+            sender_cpu: SimTime::from_micros(35.0 + payload_bytes as f64 * 0.5e-3),
+            receiver_cpu: SimTime::from_micros(30.0 + payload_bytes as f64 * 0.5e-3),
+            protocol_bytes: 128,
+            dispatch_latency: SimTime::from_micros(15.0),
+        }
+    }
+
+    fn thread_config(&self, problem: ProblemKind, _num_procs: usize) -> ThreadConfig {
+        match problem {
+            // Table 4: "one sending thread, receiving threads created on demand".
+            ProblemKind::SparseLinear => ThreadConfig::on_demand(1, Self::spawn_cost()),
+            // Table 4: "two sending threads, one receiving thread".
+            ProblemKind::NonLinearChemical => ThreadConfig::dedicated(2, 1),
+        }
+    }
+
+    fn deployment(&self) -> DeploymentProfile {
+        DeploymentProfile {
+            connection_graph: ConnectionGraph::Complete,
+            auto_data_conversion: false,
+            needs_runtime_service: false,
+            multi_protocol: false,
+            config_files: 1,
+            launch_commands: 1,
+            notes: "machine list + pm2load; complete interconnection graph required, \
+                    no automatic conversion of data representations",
+        }
+    }
+
+    fn ease_of_programming(&self) -> u8 {
+        // RPC + explicit packing: a bit more work than MPI/Mad.
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm2_is_an_rpc_environment_supporting_async() {
+        let env = Pm2::new();
+        assert!(env.supports_async());
+        assert_eq!(env.comm_style(), CommStyle::RemoteProcedureCall);
+        assert_eq!(env.kind(), EnvKind::Pm2);
+    }
+
+    #[test]
+    fn thread_config_matches_table4() {
+        let env = Pm2::new();
+        assert_eq!(
+            env.thread_config(ProblemKind::SparseLinear, 12).describe(),
+            "one sending thread, receiving threads created on demand"
+        );
+        assert_eq!(
+            env.thread_config(ProblemKind::NonLinearChemical, 12).describe(),
+            "two sending threads, one receiving thread"
+        );
+    }
+
+    #[test]
+    fn packing_costs_sit_between_mpi_and_corba() {
+        let pm2 = Pm2::new().message_cost(50_000);
+        let mpi = EnvKind::MpiMadeleine.build().message_cost(50_000);
+        let orb = EnvKind::OmniOrb.build().message_cost(50_000);
+        assert!(pm2.sender_cpu > mpi.sender_cpu);
+        assert!(pm2.sender_cpu < orb.sender_cpu);
+        assert!(pm2.protocol_bytes > mpi.protocol_bytes);
+        assert!(pm2.protocol_bytes < orb.protocol_bytes);
+    }
+
+    #[test]
+    fn deployment_is_the_most_restrictive() {
+        let p = Pm2::new().deployment();
+        assert_eq!(p.connection_graph, ConnectionGraph::Complete);
+        assert!(!p.auto_data_conversion);
+    }
+}

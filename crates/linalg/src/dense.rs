@@ -1,0 +1,341 @@
+//! Small dense matrices with LU factorisation.
+//!
+//! These are used for the per-block inverses of the block-Jacobi
+//! preconditioner and for the small least-squares system appearing in the
+//! GMRES restart; they are not intended for large dense problems.
+
+use crate::operator::LinearOperator;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// A zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// The identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_rows(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "from_rows: data length mismatch");
+        Self { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Matrix-vector product `y = A·x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
+        for i in 0..self.nrows {
+            let row = &self.data[i * self.ncols..(i + 1) * self.ncols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Allocating variant of [`DenseMatrix::matvec`].
+    pub fn matvec_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.matvec(x, &mut y);
+        y
+    }
+
+    /// Matrix-matrix product `A·B`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.ncols, other.nrows, "matmul: inner dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes an LU factorisation with partial pivoting.
+    ///
+    /// Returns `None` when the matrix is (numerically) singular.
+    pub fn lu(&self) -> Option<LuFactors> {
+        assert_eq!(self.nrows, self.ncols, "lu: matrix must be square");
+        let n = self.nrows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // pivot selection
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, pivot_row * n + j);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+        Some(LuFactors { n, lu, perm })
+    }
+
+    /// Solves `A·x = b` via LU with partial pivoting.
+    ///
+    /// Returns `None` when the matrix is singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        self.lu().map(|f| f.solve(b))
+    }
+
+    /// The inverse matrix, if it exists.
+    pub fn inverse(&self) -> Option<DenseMatrix> {
+        let f = self.lu()?;
+        let n = self.nrows;
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.iter_mut().for_each(|v| *v = 0.0);
+            e[j] = 1.0;
+            let col = f.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Some(inv)
+    }
+
+    /// Transposes the matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry of the matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+impl LinearOperator for DenseMatrix {
+    fn dim(&self) -> usize {
+        assert_eq!(self.nrows, self.ncols, "LinearOperator requires a square matrix");
+        self.nrows
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec(x, y);
+    }
+}
+
+/// The result of an LU factorisation with partial pivoting: `P·A = L·U`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Combined storage: strictly-lower part holds L (unit diagonal implied),
+    /// upper part holds U.
+    lu: Vec<f64>,
+    /// Row permutation: row `i` of the factorised matrix is row `perm[i]` of A.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Solves `A·x = b` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "LuFactors::solve: rhs length mismatch");
+        let n = self.n;
+        // apply permutation
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // forward substitution (L has unit diagonal)
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // backward substitution
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matvec_matches_hand_computed_value() {
+        let a = DenseMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec_alloc(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = DenseMatrix::identity(3);
+        assert_eq!(a.solve(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_small_system() {
+        // [2 1; 1 3] x = [3; 5]  =>  x = [0.8, 1.4]
+        let a = DenseMatrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // leading zero pivot forces a row swap
+        let a = DenseMatrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = DenseMatrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(a.solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = DenseMatrix::from_rows(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = DenseMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity_operation() {
+        let a = DenseMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn max_abs_finds_largest_entry() {
+        let a = DenseMatrix::from_rows(2, 2, vec![1.0, -7.0, 3.0, 4.0]);
+        assert_eq!(a.max_abs(), 7.0);
+    }
+
+    proptest! {
+        /// Solving a random diagonally-dominant system reproduces the rhs
+        /// under multiplication.
+        #[test]
+        fn prop_solve_then_multiply_roundtrip(n in 1usize..8, seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                let mut row_sum = 0.0;
+                for j in 0..n {
+                    if i != j {
+                        let v = rng.gen_range(-1.0..1.0);
+                        a[(i, j)] = v;
+                        row_sum += v.abs();
+                    }
+                }
+                a[(i, i)] = row_sum + 1.0;
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x = a.solve(&b).unwrap();
+            let back = a.matvec_alloc(&x);
+            for i in 0..n {
+                prop_assert!((back[i] - b[i]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The [`LinearOperator`] abstraction.
+//!
+//! GMRES and the fixed-point solvers only ever need `y = A·x`, so they are
+//! written against this trait rather than a concrete matrix type. Both
+//! [`crate::CsrMatrix`] and [`crate::DenseMatrix`] implement it, and the
+//! chemical problem implements it for its locally-assembled Jacobian blocks.
+
+/// A square linear operator `A : R^n → R^n`.
+pub trait LinearOperator {
+    /// Dimension `n` of the operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A·x`.
+    ///
+    /// Implementations may assume `x.len() == y.len() == self.dim()` and
+    /// should panic otherwise.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience wrapper allocating the output vector.
+    fn apply_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+/// A linear operator defined by a closure; useful in tests and for
+/// matrix-free Jacobian-vector products.
+pub struct FnOperator<F>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    dim: usize,
+    f: F,
+}
+
+impl<F> FnOperator<F>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    /// Wraps a closure computing `y = A·x` for vectors of length `dim`.
+    pub fn new(dim: usize, f: F) -> Self {
+        Self { dim, f }
+    }
+}
+
+impl<F> LinearOperator for FnOperator<F>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.dim, "FnOperator::apply: x length mismatch");
+        assert_eq!(y.len(), self.dim, "FnOperator::apply: y length mismatch");
+        (self.f)(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_operator_applies_closure() {
+        let op = FnOperator::new(3, |x: &[f64], y: &mut [f64]| {
+            for (yi, xi) in y.iter_mut().zip(x) {
+                *yi = 2.0 * xi;
+            }
+        });
+        assert_eq!(op.dim(), 3);
+        assert_eq!(op.apply_alloc(&[1.0, 2.0, 3.0]), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fn_operator_rejects_wrong_input_length() {
+        let op = FnOperator::new(2, |_x: &[f64], _y: &mut [f64]| {});
+        let mut y = vec![0.0; 2];
+        op.apply(&[1.0], &mut y);
+    }
+}

@@ -1,0 +1,186 @@
+//! Dense vector kernels.
+//!
+//! All routines operate on plain `&[f64]` / `&mut [f64]` slices so they can be
+//! applied to whole vectors as well as to the block-components owned by a
+//! single processor without copying.
+
+/// Computes the dot product `x · y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// Performs `y += alpha * x` in place.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Performs `y = alpha * x + beta * y` in place.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Scales a vector in place: `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Computes `z = x - y` into a fresh vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a - b).collect()
+}
+
+/// Computes `z = x + y` into a fresh vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a + b).collect()
+}
+
+/// Copies `src` into `dst`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Fills a vector with a constant value.
+pub fn fill(value: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi = value;
+    }
+}
+
+/// Returns a vector of `n` zeros.
+pub fn zeros(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+/// Returns a vector of `n` ones.
+pub fn ones(n: usize) -> Vec<f64> {
+    vec![1.0; n]
+}
+
+/// Returns true when every component of `x` is finite (no NaN / infinity).
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Linear interpolation between two vectors: `(1 - t) * a + t * b`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "lerp: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (1.0 - t) * x + t * y)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_hand_computed_value() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_length_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn axpby_combines_both_terms() {
+        let mut y = vec![1.0, 2.0];
+        axpby(2.0, &[3.0, 4.0], -1.0, &mut y);
+        assert_eq!(y, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn scale_multiplies_every_component() {
+        let mut x = vec![1.0, -2.0, 4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![0.5, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn sub_and_add_are_inverse() {
+        let x = vec![5.0, 7.0];
+        let y = vec![2.0, 3.0];
+        let d = sub(&x, &y);
+        assert_eq!(add(&d, &y), x);
+    }
+
+    #[test]
+    fn fill_and_zeros_and_ones() {
+        let mut x = zeros(3);
+        assert_eq!(x, vec![0.0; 3]);
+        fill(2.5, &mut x);
+        assert_eq!(x, vec![2.5; 3]);
+        assert_eq!(ones(2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_infinity() {
+        assert!(all_finite(&[1.0, -2.0, 0.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = vec![0.0, 10.0];
+        let b = vec![2.0, 20.0];
+        assert_eq!(lerp(&a, &b, 0.0), a);
+        assert_eq!(lerp(&a, &b, 1.0), b);
+        assert_eq!(lerp(&a, &b, 0.5), vec![1.0, 15.0]);
+    }
+
+    #[test]
+    fn copy_overwrites_destination() {
+        let mut dst = vec![0.0; 3];
+        copy(&[1.0, 2.0, 3.0], &mut dst);
+        assert_eq!(dst, vec![1.0, 2.0, 3.0]);
+    }
+}

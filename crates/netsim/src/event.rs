@@ -1,0 +1,151 @@
+//! The discrete-event queue.
+//!
+//! [`EventQueue`] is a priority queue of timestamped events with FIFO
+//! tie-breaking: two events scheduled for the same virtual instant are
+//! delivered in the order they were scheduled, which keeps simulations
+//! deterministic regardless of the payload type.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A timestamped event carrying an arbitrary payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<T> {
+    /// Virtual time at which the event fires.
+    pub time: SimTime,
+    /// Scheduling sequence number; used to break ties deterministically.
+    pub seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+/// Internal heap key: earliest time first, then lowest sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key(SimTime, u64);
+
+/// A deterministic priority queue of events.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    slots: Vec<Option<Event<T>>>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Schedules a payload at an absolute virtual time.
+    pub fn schedule(&mut self, time: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.slots.len();
+        self.slots.push(Some(Event { time, seq, payload }));
+        self.heap.push(Reverse((Key(time, seq), slot)));
+        self.len += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let Reverse((_, slot)) = self.heap.pop()?;
+        let ev = self.slots[slot].take().expect("event slot already consumed");
+        self.len -= 1;
+        if self.is_empty() {
+            // Reclaim slot storage between bursts.
+            self.slots.clear();
+        }
+        Some(ev)
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((Key(t, _), _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), "c");
+        q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest_event() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(5.0), ());
+        q.schedule(SimTime::from_secs(2.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), 1);
+        q.schedule(SimTime::from_secs(4.0), 4);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        q.schedule(SimTime::from_secs(3.0), 3);
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert_eq!(q.pop().unwrap().payload, 4);
+    }
+
+    #[test]
+    fn sequence_numbers_increase_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        assert!(a.seq < b.seq);
+    }
+}

@@ -1,0 +1,155 @@
+//! Hosts (simulated machines) and sites.
+//!
+//! The paper's clusters mix three kinds of machines — Duron 800 MHz,
+//! Pentium IV 1.7 GHz and Pentium IV 2.4 GHz — scattered over one, three or
+//! four sites. A [`Host`] carries the two properties the simulation needs:
+//! a *relative CPU speed* (used to convert work units into virtual compute
+//! time) and the [`SiteId`] it belongs to (used to pick the network link a
+//! message travels over).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a host within a [`crate::topology::GridTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub usize);
+
+/// Identifier of a site (a geographically distinct cluster of machines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub usize);
+
+/// The machine models used in the paper's experiments (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineKind {
+    /// AMD Duron 800 MHz — the slowest machine of the local cluster.
+    Duron800,
+    /// Intel Pentium IV 1.7 GHz.
+    PentiumIv1_7,
+    /// Intel Pentium IV 2.4 GHz — the reference (fastest) machine.
+    PentiumIv2_4,
+    /// A custom machine with an explicit relative speed.
+    Custom,
+}
+
+impl MachineKind {
+    /// Relative compute speed, normalised so the Pentium IV 2.4 GHz is `1.0`.
+    ///
+    /// The ratios follow the clock ratios of the paper's machines, which is a
+    /// good first-order model for the compute-bound inner loops of both
+    /// benchmark problems.
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            MachineKind::Duron800 => 800.0 / 2400.0,
+            MachineKind::PentiumIv1_7 => 1700.0 / 2400.0,
+            MachineKind::PentiumIv2_4 => 1.0,
+            MachineKind::Custom => 1.0,
+        }
+    }
+
+    /// The three paper machines in the interleaving order used for the local
+    /// heterogeneous cluster of Figure 3.
+    pub fn interleaved(index: usize) -> MachineKind {
+        match index % 3 {
+            0 => MachineKind::Duron800,
+            1 => MachineKind::PentiumIv1_7,
+            _ => MachineKind::PentiumIv2_4,
+        }
+    }
+}
+
+/// A simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    /// The host identifier (index into the topology's host table).
+    pub id: HostId,
+    /// Human-readable name, e.g. `"site1-node03"`.
+    pub name: String,
+    /// The site this host belongs to.
+    pub site: SiteId,
+    /// The machine model.
+    pub kind: MachineKind,
+    /// Relative compute speed (1.0 = reference machine). Work taking `w`
+    /// seconds on the reference machine takes `w / speed` here.
+    pub speed: f64,
+}
+
+impl Host {
+    /// Creates a host of a given machine kind.
+    pub fn new(id: HostId, name: impl Into<String>, site: SiteId, kind: MachineKind) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            site,
+            kind,
+            speed: kind.speed_factor(),
+        }
+    }
+
+    /// Creates a host with an explicit relative speed.
+    pub fn with_speed(id: HostId, name: impl Into<String>, site: SiteId, speed: f64) -> Self {
+        assert!(speed > 0.0, "host speed must be positive");
+        Self {
+            id,
+            name: name.into(),
+            site,
+            kind: MachineKind::Custom,
+            speed,
+        }
+    }
+
+    /// Virtual time needed to execute `reference_secs` seconds worth of work
+    /// (measured on the reference machine) on this host.
+    pub fn compute_time(&self, reference_secs: f64) -> SimTime {
+        assert!(reference_secs >= 0.0, "work cannot be negative");
+        SimTime::from_secs(reference_secs / self.speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_factors_follow_clock_ratios() {
+        assert!((MachineKind::Duron800.speed_factor() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(MachineKind::PentiumIv1_7.speed_factor() < 1.0);
+        assert_eq!(MachineKind::PentiumIv2_4.speed_factor(), 1.0);
+    }
+
+    #[test]
+    fn interleaving_cycles_through_the_three_kinds() {
+        assert_eq!(MachineKind::interleaved(0), MachineKind::Duron800);
+        assert_eq!(MachineKind::interleaved(1), MachineKind::PentiumIv1_7);
+        assert_eq!(MachineKind::interleaved(2), MachineKind::PentiumIv2_4);
+        assert_eq!(MachineKind::interleaved(3), MachineKind::Duron800);
+    }
+
+    #[test]
+    fn slower_host_needs_more_virtual_time() {
+        let fast = Host::new(HostId(0), "fast", SiteId(0), MachineKind::PentiumIv2_4);
+        let slow = Host::new(HostId(1), "slow", SiteId(0), MachineKind::Duron800);
+        let w = 1.0;
+        assert!(slow.compute_time(w) > fast.compute_time(w));
+        assert_eq!(fast.compute_time(w).as_secs(), 1.0);
+        assert!((slow.compute_time(w).as_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_speed_is_respected() {
+        let h = Host::with_speed(HostId(0), "h", SiteId(0), 2.0);
+        assert_eq!(h.compute_time(4.0).as_secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_is_rejected() {
+        Host::with_speed(HostId(0), "h", SiteId(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "work cannot be negative")]
+    fn negative_work_is_rejected() {
+        let h = Host::new(HostId(0), "h", SiteId(0), MachineKind::PentiumIv2_4);
+        h.compute_time(-1.0);
+    }
+}

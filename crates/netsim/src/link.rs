@@ -1,0 +1,178 @@
+//! Network links.
+//!
+//! A [`Link`] models a point-to-point or site-to-site connection with a fixed
+//! propagation latency and a (possibly asymmetric) bandwidth. The presets
+//! correspond to the paper's three platforms: 10 Mb/s Ethernet between distant
+//! sites, consumer ADSL (512 kb/s down, 128 kb/s up), and the 100 Mb/s
+//! Ethernet of the local cluster.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a transfer over an asymmetric link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkDirection {
+    /// From the link's designated "A" side towards "B" (e.g. ADSL download at
+    /// the B side).
+    Forward,
+    /// From "B" back towards "A" (e.g. ADSL upload).
+    Reverse,
+}
+
+/// A network link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One-way propagation latency.
+    pub latency: SimTime,
+    /// Bandwidth in bytes per second in the [`LinkDirection::Forward`]
+    /// direction.
+    pub bandwidth_forward: f64,
+    /// Bandwidth in bytes per second in the [`LinkDirection::Reverse`]
+    /// direction.
+    pub bandwidth_reverse: f64,
+}
+
+/// Converts a link speed expressed in bits per second to bytes per second.
+fn bits_per_sec(bits: f64) -> f64 {
+    bits / 8.0
+}
+
+impl Link {
+    /// A symmetric link with the given latency and bandwidth (bytes/s).
+    pub fn symmetric(latency: SimTime, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Self {
+            latency,
+            bandwidth_forward: bandwidth,
+            bandwidth_reverse: bandwidth,
+        }
+    }
+
+    /// An asymmetric link (bytes/s in each direction).
+    pub fn asymmetric(latency: SimTime, forward: f64, reverse: f64) -> Self {
+        assert!(forward > 0.0 && reverse > 0.0, "bandwidth must be positive");
+        Self {
+            latency,
+            bandwidth_forward: forward,
+            bandwidth_reverse: reverse,
+        }
+    }
+
+    /// 10 Mb/s Ethernet with wide-area latency — the inter-site links of the
+    /// paper's first grid configuration.
+    pub fn ethernet_10mb_wan() -> Self {
+        Self::symmetric(SimTime::from_millis(10.0), bits_per_sec(10e6))
+    }
+
+    /// 10 Mb/s Ethernet with LAN latency.
+    pub fn ethernet_10mb_lan() -> Self {
+        Self::symmetric(SimTime::from_micros(500.0), bits_per_sec(10e6))
+    }
+
+    /// 100 Mb/s Ethernet with LAN latency — the local heterogeneous cluster of
+    /// Figure 3.
+    pub fn ethernet_100mb_lan() -> Self {
+        Self::symmetric(SimTime::from_micros(100.0), bits_per_sec(100e6))
+    }
+
+    /// The consumer ADSL line of the paper's second grid configuration:
+    /// 512 kb/s in reception (forward) and 128 kb/s in emission (reverse),
+    /// with typical ADSL latency.
+    pub fn adsl() -> Self {
+        Self::asymmetric(
+            SimTime::from_millis(30.0),
+            bits_per_sec(512e3),
+            bits_per_sec(128e3),
+        )
+    }
+
+    /// An essentially-infinite-speed loopback used for co-located processes.
+    pub fn loopback() -> Self {
+        Self::symmetric(SimTime::from_micros(5.0), 10e9)
+    }
+
+    /// Bandwidth in the given direction (bytes per second).
+    pub fn bandwidth(&self, dir: LinkDirection) -> f64 {
+        match dir {
+            LinkDirection::Forward => self.bandwidth_forward,
+            LinkDirection::Reverse => self.bandwidth_reverse,
+        }
+    }
+
+    /// Pure transmission (serialisation) time of a message of `bytes` bytes in
+    /// the given direction, excluding latency and queueing.
+    pub fn transmission_time(&self, bytes: u64, dir: LinkDirection) -> SimTime {
+        SimTime::from_secs(bytes as f64 / self.bandwidth(dir))
+    }
+
+    /// Total unloaded transfer time (latency + transmission) of a message.
+    pub fn transfer_time(&self, bytes: u64, dir: LinkDirection) -> SimTime {
+        self.latency + self.transmission_time(bytes, dir)
+    }
+
+    /// True when the two directions have different bandwidths.
+    pub fn is_asymmetric(&self) -> bool {
+        self.bandwidth_forward != self.bandwidth_reverse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_presets_have_expected_bandwidth() {
+        assert_eq!(Link::ethernet_10mb_wan().bandwidth_forward, 10e6 / 8.0);
+        assert_eq!(Link::ethernet_100mb_lan().bandwidth_forward, 100e6 / 8.0);
+        assert!(!Link::ethernet_10mb_wan().is_asymmetric());
+    }
+
+    #[test]
+    fn adsl_is_asymmetric_and_slower_upstream() {
+        let adsl = Link::adsl();
+        assert!(adsl.is_asymmetric());
+        assert!(adsl.bandwidth(LinkDirection::Reverse) < adsl.bandwidth(LinkDirection::Forward));
+        assert_eq!(adsl.bandwidth(LinkDirection::Forward), 512e3 / 8.0);
+        assert_eq!(adsl.bandwidth(LinkDirection::Reverse), 128e3 / 8.0);
+    }
+
+    #[test]
+    fn transfer_time_is_latency_plus_serialisation() {
+        let link = Link::symmetric(SimTime::from_millis(10.0), 1000.0);
+        // 500 bytes at 1000 B/s = 0.5 s + 10 ms latency
+        let t = link.transfer_time(500, LinkDirection::Forward);
+        assert!((t.as_secs() - 0.51).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        let link = Link::ethernet_10mb_wan();
+        assert!(
+            link.transfer_time(1_000_000, LinkDirection::Forward)
+                > link.transfer_time(1_000, LinkDirection::Forward)
+        );
+    }
+
+    #[test]
+    fn loopback_is_fastest() {
+        let msg = 100_000u64;
+        assert!(
+            Link::loopback().transfer_time(msg, LinkDirection::Forward)
+                < Link::ethernet_100mb_lan().transfer_time(msg, LinkDirection::Forward)
+        );
+        assert!(
+            Link::ethernet_100mb_lan().transfer_time(msg, LinkDirection::Forward)
+                < Link::ethernet_10mb_wan().transfer_time(msg, LinkDirection::Forward)
+        );
+        assert!(
+            Link::ethernet_10mb_wan().transfer_time(msg, LinkDirection::Forward)
+                < Link::adsl().transfer_time(msg, LinkDirection::Forward)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_is_rejected() {
+        Link::symmetric(SimTime::ZERO, 0.0);
+    }
+}

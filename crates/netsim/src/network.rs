@@ -1,0 +1,288 @@
+//! The network transfer-time model.
+//!
+//! [`Network`] turns a static [`GridTopology`] into a *stateful* model that
+//! answers one question: *if host `a` starts sending `n` bytes to host `b` at
+//! virtual time `t`, when does the message arrive?*
+//!
+//! The model is latency + serialisation with FIFO contention on two shared
+//! resources along the path:
+//!
+//! 1. the sender's network interface (all messages leaving a host are
+//!    serialised one after the other at the intra-site link speed);
+//! 2. the directional inter-site pipe between the two sites (when the message
+//!    crosses sites), whose bandwidth can be asymmetric (ADSL).
+//!
+//! Those two queues capture the behaviours the paper attributes to its
+//! platforms: a slow shared ADSL uplink delays every subsequent message, and a
+//! host emitting to many destinations (the all-to-all sparse-linear scheme)
+//! serialises its sends.
+
+use crate::host::HostId;
+use crate::time::SimTime;
+use crate::topology::GridTopology;
+use std::collections::BTreeMap;
+
+/// Statistics accumulated by a [`Network`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetworkStats {
+    /// Number of messages transferred.
+    pub messages: u64,
+    /// Total payload bytes transferred.
+    pub bytes: u64,
+    /// Total time spent queueing behind other transfers (seconds).
+    pub queueing_secs: f64,
+}
+
+/// A stateful transfer-time model over a [`GridTopology`].
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: GridTopology,
+    /// Time at which each host's outgoing interface becomes free.
+    nic_free: Vec<SimTime>,
+    /// Time at which each directional inter-site pipe becomes free,
+    /// keyed by (src_site, dst_site).
+    pipe_free: BTreeMap<(usize, usize), SimTime>,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Wraps a topology into a fresh (idle) network model.
+    pub fn new(topology: GridTopology) -> Self {
+        let n = topology.num_hosts();
+        Self {
+            topology,
+            nic_free: vec![SimTime::ZERO; n],
+            pipe_free: BTreeMap::new(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &GridTopology {
+        &self.topology
+    }
+
+    /// Accumulated transfer statistics.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Resets the dynamic state (link availability and statistics) while
+    /// keeping the topology.
+    pub fn reset(&mut self) {
+        for t in self.nic_free.iter_mut() {
+            *t = SimTime::ZERO;
+        }
+        self.pipe_free.clear();
+        self.stats = NetworkStats::default();
+    }
+
+    /// Models the transfer of `bytes` payload bytes from `src` to `dst`
+    /// starting (i.e. handed to the environment's send path) at `start`,
+    /// with `overhead_bytes` of protocol framing added by the programming
+    /// environment.
+    ///
+    /// Returns the arrival time at `dst` and updates the contention state.
+    ///
+    /// # Panics
+    /// Panics if `src == dst`.
+    pub fn transfer(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        overhead_bytes: u64,
+        start: SimTime,
+    ) -> SimTime {
+        assert_ne!(src, dst, "transfer: src and dst must differ");
+        let total_bytes = bytes + overhead_bytes;
+        let (link, dir) = self.topology.route(src, dst);
+        let src_site = self.topology.host(src).site;
+        let dst_site = self.topology.host(dst).site;
+
+        // 1. Sender NIC: messages leaving `src` are serialised at the speed of
+        //    the first link on the path.
+        let nic_ready = self.nic_free[src.0].max(start);
+        let nic_queue = nic_ready.saturating_sub(start);
+        let nic_tx = link.transmission_time(total_bytes, dir);
+        let nic_done = nic_ready + nic_tx;
+        self.nic_free[src.0] = nic_done;
+
+        // 2. Inter-site pipe (only when crossing sites): the directional pipe
+        //    is shared by every transfer between the two sites.
+        let (pipe_queue, pipe_done) = if src_site != dst_site {
+            let key = (src_site.0, dst_site.0);
+            let pipe_free = self.pipe_free.get(&key).copied().unwrap_or(SimTime::ZERO);
+            let ready = pipe_free.max(nic_done);
+            let queue = ready.saturating_sub(nic_done);
+            let done = ready + link.transmission_time(total_bytes, dir);
+            self.pipe_free.insert(key, done);
+            (queue, done)
+        } else {
+            (SimTime::ZERO, nic_done)
+        };
+
+        self.stats.messages += 1;
+        self.stats.bytes += total_bytes;
+        self.stats.queueing_secs += nic_queue.as_secs() + pipe_queue.as_secs();
+
+        // 3. Propagation latency is added once, after the last store-and-forward hop.
+        pipe_done + link.latency
+    }
+
+    /// Unloaded (contention-free) transfer time between two hosts: what a
+    /// single message would take on an otherwise idle network. Does not mutate
+    /// the contention state.
+    pub fn unloaded_transfer_time(&self, src: HostId, dst: HostId, bytes: u64) -> SimTime {
+        let (link, dir) = self.topology.route(src, dst);
+        let src_site = self.topology.host(src).site;
+        let dst_site = self.topology.host(dst).site;
+        let hops = if src_site == dst_site { 1 } else { 2 };
+        link.transmission_time(bytes, dir) * hops as f64 + link.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::GridTopology;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unloaded_transfer_matches_link_model_on_lan() {
+        let g = GridTopology::local_hetero_cluster(4);
+        let net = Network::new(g);
+        let t = net.unloaded_transfer_time(HostId(0), HostId(1), 12_500);
+        // 12_500 B at 12.5 MB/s = 1 ms, + 0.1 ms latency
+        assert!((t.as_secs() - 0.0011).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_transfer_on_idle_network_matches_unloaded_time() {
+        let g = GridTopology::ethernet_3_sites(6);
+        let mut net = Network::new(g);
+        let unloaded = net.unloaded_transfer_time(HostId(0), HostId(1), 10_000);
+        let arrival = net.transfer(HostId(0), HostId(1), 10_000, 0, SimTime::ZERO);
+        assert_eq!(arrival, unloaded);
+    }
+
+    #[test]
+    fn back_to_back_sends_queue_on_the_sender_nic() {
+        let g = GridTopology::local_hetero_cluster(4);
+        let mut net = Network::new(g);
+        let a1 = net.transfer(HostId(0), HostId(1), 1_000_000, 0, SimTime::ZERO);
+        let a2 = net.transfer(HostId(0), HostId(2), 1_000_000, 0, SimTime::ZERO);
+        assert!(a2 > a1, "second message must queue behind the first");
+        assert!(net.stats().queueing_secs > 0.0);
+    }
+
+    #[test]
+    fn transfers_from_different_hosts_do_not_queue_on_lan() {
+        let g = GridTopology::local_hetero_cluster(4);
+        let mut net = Network::new(g);
+        let a1 = net.transfer(HostId(0), HostId(1), 1_000_000, 0, SimTime::ZERO);
+        let a2 = net.transfer(HostId(2), HostId(3), 1_000_000, 0, SimTime::ZERO);
+        assert_eq!(a1, a2, "independent hosts on a switched LAN do not contend");
+    }
+
+    #[test]
+    fn inter_site_transfers_share_the_pipe() {
+        let g = GridTopology::ethernet_3_sites(6);
+        let mut net = Network::new(g);
+        // hosts 0 and 3 are on site 0; hosts 1 and 4 on site 1
+        let a1 = net.transfer(HostId(0), HostId(1), 500_000, 0, SimTime::ZERO);
+        let a2 = net.transfer(HostId(3), HostId(4), 500_000, 0, SimTime::ZERO);
+        assert!(a2 > a1, "second inter-site transfer must queue on the shared pipe");
+    }
+
+    #[test]
+    fn adsl_upload_is_slower_than_download() {
+        let g = GridTopology::ethernet_adsl_4_sites(8);
+        let mut net = Network::new(g.clone());
+        // host 3 is on site 3 (behind ADSL); host 0 on site 0.
+        let down = net.transfer(HostId(0), HostId(3), 100_000, 0, SimTime::ZERO);
+        net.reset();
+        let up = net.transfer(HostId(3), HostId(0), 100_000, 0, SimTime::ZERO);
+        assert!(
+            up > down,
+            "sending towards the well-connected site crosses the slow ADSL uplink"
+        );
+    }
+
+    #[test]
+    fn protocol_overhead_increases_transfer_time() {
+        let g = GridTopology::ethernet_3_sites(6);
+        let mut net = Network::new(g.clone());
+        let plain = net.transfer(HostId(0), HostId(1), 10_000, 0, SimTime::ZERO);
+        net.reset();
+        let framed = net.transfer(HostId(0), HostId(1), 10_000, 5_000, SimTime::ZERO);
+        assert!(framed > plain);
+    }
+
+    #[test]
+    fn reset_clears_contention_and_stats() {
+        let g = GridTopology::local_hetero_cluster(3);
+        let mut net = Network::new(g);
+        let first = net.transfer(HostId(0), HostId(1), 1_000_000, 0, SimTime::ZERO);
+        net.reset();
+        assert_eq!(net.stats(), NetworkStats::default());
+        let again = net.transfer(HostId(0), HostId(1), 1_000_000, 0, SimTime::ZERO);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let g = GridTopology::local_hetero_cluster(3);
+        let mut net = Network::new(g);
+        net.transfer(HostId(0), HostId(1), 100, 20, SimTime::ZERO);
+        net.transfer(HostId(1), HostId(2), 200, 30, SimTime::ZERO);
+        let s = net.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 350);
+    }
+
+    proptest! {
+        /// Arrival times never precede the send time plus the link latency,
+        /// and later sends from the same host never arrive before earlier
+        /// ones sent to the same destination.
+        #[test]
+        fn prop_arrivals_are_causal_and_fifo(
+            sizes in proptest::collection::vec(1u64..200_000, 1..20),
+            start_ms in 0.0f64..100.0,
+        ) {
+            let g = GridTopology::ethernet_3_sites(4);
+            let mut net = Network::new(g);
+            let start = SimTime::from_millis(start_ms);
+            let mut last_arrival = SimTime::ZERO;
+            for &s in &sizes {
+                let arrival = net.transfer(HostId(0), HostId(1), s, 0, start);
+                prop_assert!(arrival >= start);
+                prop_assert!(arrival >= last_arrival);
+                last_arrival = arrival;
+            }
+        }
+
+        /// The simulator is deterministic: replaying the same transfer
+        /// sequence gives identical arrival times.
+        #[test]
+        fn prop_transfers_are_deterministic(
+            sizes in proptest::collection::vec(1u64..100_000, 1..15),
+        ) {
+            let run = || {
+                let g = GridTopology::ethernet_adsl_4_sites(6);
+                let mut net = Network::new(g);
+                sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        let src = HostId(i % 6);
+                        let dst = HostId((i + 1) % 6);
+                        net.transfer(src, dst, s, 64, SimTime::from_millis(i as f64))
+                            .as_secs()
+                    })
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The discrete-event simulation kernel.
+//!
+//! [`Simulator`] owns the virtual clock and an [`EventQueue`]; a driver (the
+//! simulated AIAC runtime in `aiac-core`) schedules payloads and repeatedly
+//! asks for the next one, advancing the clock monotonically. The kernel is
+//! deliberately minimal — all AIAC-specific semantics live in the runtime —
+//! but it enforces the invariants every discrete-event simulation needs:
+//! time never goes backwards and simultaneous events fire in scheduling
+//! order.
+
+use crate::event::{Event, EventQueue};
+use crate::time::SimTime;
+
+/// A minimal deterministic discrete-event simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator<T> {
+    clock: SimTime,
+    queue: EventQueue<T>,
+    processed: u64,
+}
+
+impl<T> Default for Simulator<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Simulator<T> {
+    /// Creates a simulator with the clock at zero and no pending events.
+    pub fn new() -> Self {
+        Self {
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules a payload at an absolute virtual time.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the current clock (events cannot be
+    /// scheduled in the past).
+    pub fn schedule_at(&mut self, time: SimTime, payload: T) {
+        assert!(
+            time >= self.clock,
+            "cannot schedule an event in the past ({time:?} < {:?})",
+            self.clock
+        );
+        self.queue.schedule(time, payload);
+    }
+
+    /// Schedules a payload after a delay relative to the current clock.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: T) {
+        self.schedule_at(self.clock + delay, payload);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when no events are pending (the simulation has ended).
+    pub fn next_event(&mut self) -> Option<Event<T>> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.time >= self.clock, "event queue returned a past event");
+        self.clock = ev.time;
+        self.processed += 1;
+        Some(ev)
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Runs the simulation to completion, calling `handler` for every event.
+    /// The handler receives the simulator (to schedule follow-up events) and
+    /// the payload.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, T)) {
+        while let Some(ev) = self.next_event() {
+            handler(self, ev.payload);
+        }
+    }
+
+    /// Runs the simulation until the clock would exceed `deadline`, leaving
+    /// later events pending. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime, mut handler: impl FnMut(&mut Self, T)) -> u64 {
+        let before = self.processed;
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.next_event().expect("peeked event must exist");
+            handler(self, ev.payload);
+        }
+        self.processed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(2.0), "b");
+        sim.schedule_at(SimTime::from_secs(1.0), "a");
+        assert_eq!(sim.now(), SimTime::ZERO);
+        let e = sim.next_event().unwrap();
+        assert_eq!(e.payload, "a");
+        assert_eq!(sim.now(), SimTime::from_secs(1.0));
+        sim.next_event();
+        assert_eq!(sim.now(), SimTime::from_secs(2.0));
+        assert!(sim.next_event().is_none());
+        assert_eq!(sim.processed(), 2);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(1.0), 1);
+        sim.next_event();
+        sim.schedule_in(SimTime::from_secs(0.5), 2);
+        let e = sim.next_event().unwrap();
+        assert_eq!(e.time, SimTime::from_secs(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_is_rejected() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(2.0), ());
+        sim.next_event();
+        sim.schedule_at(SimTime::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn run_processes_cascading_events() {
+        // Each event below 5 schedules its successor; run() must follow the chain.
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(0.0), 0u32);
+        let mut seen = Vec::new();
+        sim.run(|sim, n| {
+            seen.push(n);
+            if n < 5 {
+                sim.schedule_in(SimTime::from_secs(1.0), n + 1);
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn run_until_stops_at_the_deadline() {
+        let mut sim = Simulator::new();
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_secs(i as f64), i);
+        }
+        let mut seen = Vec::new();
+        let n = sim.run_until(SimTime::from_secs(4.5), |_, i| seen.push(i));
+        assert_eq!(n, 5);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.pending(), 5);
+        // the clock has not run past the deadline
+        assert!(sim.now() <= SimTime::from_secs(4.5));
+    }
+}

@@ -1,0 +1,414 @@
+//! Grid topologies.
+//!
+//! A [`GridTopology`] is the static description of a simulated platform: the
+//! hosts (with their speeds and sites), the intra-site links, and the
+//! inter-site links. Three presets reproduce the paper's test platforms:
+//!
+//! * [`GridTopology::ethernet_3_sites`] — heterogeneous machines scattered on
+//!   three distant sites connected by 10 Mb Ethernet (first series of tests);
+//! * [`GridTopology::ethernet_adsl_4_sites`] — four sites, one of them behind
+//!   an asymmetric ADSL line (second series, the "difficult case");
+//! * [`GridTopology::local_hetero_cluster`] — the local 100 Mb cluster with
+//!   Duron 800 / P4 1.7 / P4 2.4 machines interleaved (Figure 3).
+
+use crate::host::{Host, HostId, MachineKind, SiteId};
+use crate::link::{Link, LinkDirection};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A static description of a simulated computing grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridTopology {
+    name: String,
+    hosts: Vec<Host>,
+    /// Intra-site link used between two hosts of the same site.
+    intra_site: Vec<Link>,
+    /// Inter-site links, keyed by an unordered pair of site ids
+    /// `(min, max)`. The link's Forward direction is `min → max`.
+    inter_site: BTreeMap<(usize, usize), Link>,
+}
+
+impl GridTopology {
+    /// Starts building a custom topology.
+    pub fn builder(name: impl Into<String>) -> GridTopologyBuilder {
+        GridTopologyBuilder {
+            name: name.into(),
+            hosts: Vec::new(),
+            intra_site: Vec::new(),
+            inter_site: BTreeMap::new(),
+            default_inter_site: Link::ethernet_10mb_wan(),
+        }
+    }
+
+    /// Human-readable name of the platform.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.intra_site.len()
+    }
+
+    /// The host table.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// A single host.
+    ///
+    /// # Panics
+    /// Panics when the id is out of range.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0]
+    }
+
+    /// The hosts belonging to a site.
+    pub fn hosts_of_site(&self, site: SiteId) -> Vec<HostId> {
+        self.hosts
+            .iter()
+            .filter(|h| h.site == site)
+            .map(|h| h.id)
+            .collect()
+    }
+
+    /// The link and direction a message from `src` to `dst` travels over.
+    ///
+    /// Messages within a site use the site's intra-site link; messages between
+    /// sites use the inter-site link registered for that pair of sites (the
+    /// `Forward` direction goes from the lower-numbered site to the higher
+    /// one).
+    ///
+    /// # Panics
+    /// Panics if `src == dst` (a host does not message itself through the
+    /// network) or if either id is out of range.
+    pub fn route(&self, src: HostId, dst: HostId) -> (Link, LinkDirection) {
+        assert_ne!(src, dst, "route: src and dst must differ");
+        let s = self.host(src).site;
+        let d = self.host(dst).site;
+        if s == d {
+            (self.intra_site[s.0], LinkDirection::Forward)
+        } else {
+            let key = (s.0.min(d.0), s.0.max(d.0));
+            let link = *self
+                .inter_site
+                .get(&key)
+                .unwrap_or_else(|| panic!("no inter-site link between {:?} and {:?}", s, d));
+            let dir = if s.0 < d.0 {
+                LinkDirection::Forward
+            } else {
+                LinkDirection::Reverse
+            };
+            (link, dir)
+        }
+    }
+
+    /// Relative speed of every host, in host order — handy for weighted data
+    /// decompositions.
+    pub fn speed_vector(&self) -> Vec<f64> {
+        self.hosts.iter().map(|h| h.speed).collect()
+    }
+
+    /// Mean host speed (1.0 = every machine is a reference machine).
+    pub fn mean_speed(&self) -> f64 {
+        if self.hosts.is_empty() {
+            return 0.0;
+        }
+        self.speed_vector().iter().sum::<f64>() / self.hosts.len() as f64
+    }
+
+    /// The slowest host of the platform.
+    pub fn slowest_host(&self) -> Option<HostId> {
+        self.hosts
+            .iter()
+            .min_by(|a, b| a.speed.partial_cmp(&b.speed).unwrap())
+            .map(|h| h.id)
+    }
+
+    // ------------------------------------------------------------------
+    // Paper presets
+    // ------------------------------------------------------------------
+
+    /// First test platform (Section 5.1): `n` heterogeneous machines scattered
+    /// over three distant sites connected by 10 Mb Ethernet links.
+    ///
+    /// Machines are assigned to sites round-robin and their kinds are
+    /// interleaved, mirroring the paper's description of a "heterogeneous
+    /// cluster of machines scattered on three distinct sites".
+    pub fn ethernet_3_sites(n: usize) -> Self {
+        Self::multi_site_grid("ethernet-3-sites", n, 3, Link::ethernet_10mb_wan(), &[])
+    }
+
+    /// Second test platform: four sites, with the links towards the fourth
+    /// site going through an asymmetric consumer ADSL line (512 kb/s down,
+    /// 128 kb/s up). This is the paper's "difficult (and probably the most
+    /// common) case of grid environment".
+    pub fn ethernet_adsl_4_sites(n: usize) -> Self {
+        // Links that involve site 3 are ADSL; the rest stay on 10 Mb Ethernet.
+        let adsl_pairs: Vec<(usize, usize)> = vec![(0, 3), (1, 3), (2, 3)];
+        Self::multi_site_grid(
+            "ethernet-adsl-4-sites",
+            n,
+            4,
+            Link::ethernet_10mb_wan(),
+            &adsl_pairs,
+        )
+    }
+
+    /// Third test platform (Figure 3): a single-site local cluster on 100 Mb
+    /// Ethernet whose machines alternate between Duron 800 MHz,
+    /// Pentium IV 1.7 GHz and Pentium IV 2.4 GHz ("the types of machines are
+    /// interleaved in the logical organization of the network").
+    pub fn local_hetero_cluster(n: usize) -> Self {
+        let mut b = Self::builder("local-hetero-cluster");
+        let site = b.add_site(Link::ethernet_100mb_lan());
+        for i in 0..n {
+            b.add_host(
+                format!("local-node{i:02}"),
+                site,
+                MachineKind::interleaved(i),
+            );
+        }
+        b.build()
+    }
+
+    /// A homogeneous single-site cluster of reference machines on a fast LAN;
+    /// not one of the paper's platforms but useful as a control in tests and
+    /// ablations.
+    pub fn homogeneous_cluster(n: usize) -> Self {
+        let mut b = Self::builder("homogeneous-cluster");
+        let site = b.add_site(Link::ethernet_100mb_lan());
+        for i in 0..n {
+            b.add_host(format!("node{i:02}"), site, MachineKind::PentiumIv2_4);
+        }
+        b.build()
+    }
+
+    fn multi_site_grid(
+        name: &str,
+        n: usize,
+        sites: usize,
+        default_link: Link,
+        adsl_pairs: &[(usize, usize)],
+    ) -> Self {
+        assert!(sites > 0);
+        let mut b = Self::builder(name);
+        b.default_inter_site = default_link;
+        let mut site_ids = Vec::with_capacity(sites);
+        for _ in 0..sites {
+            site_ids.push(b.add_site(Link::ethernet_10mb_lan()));
+        }
+        for &(a, c) in adsl_pairs {
+            b.set_inter_site_link(site_ids[a], site_ids[c], Link::adsl());
+        }
+        for i in 0..n {
+            let site = site_ids[i % sites];
+            b.add_host(
+                format!("site{}-node{:02}", i % sites, i / sites),
+                site,
+                MachineKind::interleaved(i),
+            );
+        }
+        b.build()
+    }
+}
+
+/// Builder for [`GridTopology`].
+#[derive(Debug, Clone)]
+pub struct GridTopologyBuilder {
+    name: String,
+    hosts: Vec<Host>,
+    intra_site: Vec<Link>,
+    inter_site: BTreeMap<(usize, usize), Link>,
+    default_inter_site: Link,
+}
+
+impl GridTopologyBuilder {
+    /// Adds a site with the given intra-site link and returns its id.
+    pub fn add_site(&mut self, intra_link: Link) -> SiteId {
+        let id = SiteId(self.intra_site.len());
+        self.intra_site.push(intra_link);
+        id
+    }
+
+    /// Adds a host of the given machine kind to a site and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the site has not been added yet.
+    pub fn add_host(&mut self, name: impl Into<String>, site: SiteId, kind: MachineKind) -> HostId {
+        assert!(site.0 < self.intra_site.len(), "unknown site {site:?}");
+        let id = HostId(self.hosts.len());
+        self.hosts.push(Host::new(id, name, site, kind));
+        id
+    }
+
+    /// Adds a host with an explicit relative speed.
+    pub fn add_host_with_speed(
+        &mut self,
+        name: impl Into<String>,
+        site: SiteId,
+        speed: f64,
+    ) -> HostId {
+        assert!(site.0 < self.intra_site.len(), "unknown site {site:?}");
+        let id = HostId(self.hosts.len());
+        self.hosts.push(Host::with_speed(id, name, site, speed));
+        id
+    }
+
+    /// Sets the link between two sites. The link's Forward direction goes from
+    /// the lower-numbered site to the higher-numbered one.
+    pub fn set_inter_site_link(&mut self, a: SiteId, b: SiteId, link: Link) {
+        assert_ne!(a, b, "inter-site link requires two distinct sites");
+        self.inter_site.insert((a.0.min(b.0), a.0.max(b.0)), link);
+    }
+
+    /// Sets the default link used for site pairs without an explicit link.
+    pub fn default_inter_site_link(&mut self, link: Link) {
+        self.default_inter_site = link;
+    }
+
+    /// Finalises the topology, filling in default inter-site links for every
+    /// pair of sites that was not given an explicit one.
+    pub fn build(mut self) -> GridTopology {
+        let sites = self.intra_site.len();
+        for a in 0..sites {
+            for b in (a + 1)..sites {
+                self.inter_site.entry((a, b)).or_insert(self.default_inter_site);
+            }
+        }
+        GridTopology {
+            name: self.name,
+            hosts: self.hosts,
+            intra_site: self.intra_site,
+            inter_site: self.inter_site,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ethernet_3_sites_distributes_hosts_round_robin() {
+        let g = GridTopology::ethernet_3_sites(9);
+        assert_eq!(g.num_hosts(), 9);
+        assert_eq!(g.num_sites(), 3);
+        for s in 0..3 {
+            assert_eq!(g.hosts_of_site(SiteId(s)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn ethernet_3_sites_is_heterogeneous() {
+        let g = GridTopology::ethernet_3_sites(6);
+        let speeds = g.speed_vector();
+        assert!(speeds.iter().any(|s| *s < 1.0));
+        assert!(speeds.iter().any(|s| (*s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn adsl_grid_routes_through_asymmetric_link() {
+        let g = GridTopology::ethernet_adsl_4_sites(8);
+        assert_eq!(g.num_sites(), 4);
+        // host on site 0 (host 0) to host on site 3 (host 3)
+        let (link, dir) = g.route(HostId(0), HostId(3));
+        assert!(link.is_asymmetric());
+        assert_eq!(dir, LinkDirection::Forward);
+        // reverse direction
+        let (link_back, dir_back) = g.route(HostId(3), HostId(0));
+        assert!(link_back.is_asymmetric());
+        assert_eq!(dir_back, LinkDirection::Reverse);
+        // site 0 <-> site 1 stays on plain Ethernet
+        let (eth, _) = g.route(HostId(0), HostId(1));
+        assert!(!eth.is_asymmetric());
+    }
+
+    #[test]
+    fn local_cluster_interleaves_machine_kinds() {
+        let g = GridTopology::local_hetero_cluster(6);
+        assert_eq!(g.num_sites(), 1);
+        assert_eq!(g.host(HostId(0)).kind, MachineKind::Duron800);
+        assert_eq!(g.host(HostId(1)).kind, MachineKind::PentiumIv1_7);
+        assert_eq!(g.host(HostId(2)).kind, MachineKind::PentiumIv2_4);
+        assert_eq!(g.host(HostId(3)).kind, MachineKind::Duron800);
+    }
+
+    #[test]
+    fn intra_site_route_uses_lan_link() {
+        let g = GridTopology::ethernet_3_sites(6);
+        // hosts 0 and 3 are both on site 0
+        let (link, _) = g.route(HostId(0), HostId(3));
+        assert_eq!(link, Link::ethernet_10mb_lan());
+    }
+
+    #[test]
+    fn slowest_host_is_a_duron() {
+        let g = GridTopology::local_hetero_cluster(7);
+        let slow = g.slowest_host().unwrap();
+        assert_eq!(g.host(slow).kind, MachineKind::Duron800);
+    }
+
+    #[test]
+    fn homogeneous_cluster_has_uniform_speed() {
+        let g = GridTopology::homogeneous_cluster(5);
+        assert!(g.speed_vector().iter().all(|s| (*s - 1.0).abs() < 1e-12));
+        assert!((g.mean_speed() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "src and dst must differ")]
+    fn routing_to_self_is_rejected() {
+        let g = GridTopology::homogeneous_cluster(2);
+        g.route(HostId(0), HostId(0));
+    }
+
+    #[test]
+    fn builder_fills_missing_inter_site_links_with_default() {
+        let mut b = GridTopology::builder("custom");
+        let s0 = b.add_site(Link::ethernet_100mb_lan());
+        let s1 = b.add_site(Link::ethernet_100mb_lan());
+        let h0 = b.add_host("a", s0, MachineKind::PentiumIv2_4);
+        let h1 = b.add_host("b", s1, MachineKind::PentiumIv2_4);
+        let g = b.build();
+        let (link, _) = g.route(h0, h1);
+        assert_eq!(link, Link::ethernet_10mb_wan());
+    }
+
+    proptest! {
+        /// Every preset topology can route between every ordered pair of
+        /// distinct hosts.
+        #[test]
+        fn prop_presets_route_between_all_pairs(n in 2usize..20) {
+            for g in [
+                GridTopology::ethernet_3_sites(n),
+                GridTopology::ethernet_adsl_4_sites(n),
+                GridTopology::local_hetero_cluster(n),
+            ] {
+                for a in 0..n {
+                    for b in 0..n {
+                        if a != b {
+                            let (link, dir) = g.route(HostId(a), HostId(b));
+                            prop_assert!(link.bandwidth(dir) > 0.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Host speeds are always positive and at most the reference speed.
+        #[test]
+        fn prop_speeds_are_normalised(n in 1usize..30) {
+            let g = GridTopology::local_hetero_cluster(n);
+            for s in g.speed_vector() {
+                prop_assert!(s > 0.0 && s <= 1.0);
+            }
+        }
+    }
+}

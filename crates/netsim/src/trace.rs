@@ -1,0 +1,238 @@
+//! Per-processor execution traces.
+//!
+//! Figures 1 and 2 of the paper show the execution flow of a SISC and an AIAC
+//! algorithm on two processors: grey compute blocks separated (or not) by
+//! idle time, with arrows for the asynchronous messages. [`ExecutionTrace`]
+//! records exactly that information from a simulated run so the benchmark
+//! harness can regenerate the figures as ASCII timelines and report idle-time
+//! fractions.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What a processor is doing during a trace interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activity {
+    /// Executing an iteration (the grey blocks of the figures).
+    Compute,
+    /// Waiting for data or for a barrier (the white gaps of Figure 1).
+    Idle,
+    /// Packing / emitting a message.
+    Send,
+    /// Receiving / unpacking a message.
+    Receive,
+}
+
+impl Activity {
+    /// The single character used for this activity in the ASCII timeline.
+    pub fn glyph(self) -> char {
+        match self {
+            Activity::Compute => '#',
+            Activity::Idle => '.',
+            Activity::Send => '>',
+            Activity::Receive => '<',
+        }
+    }
+}
+
+/// One interval of a processor's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// The processor (block) index.
+    pub proc: usize,
+    /// Start of the interval.
+    pub start: SimTime,
+    /// End of the interval.
+    pub end: SimTime,
+    /// Activity during the interval.
+    pub activity: Activity,
+}
+
+/// A collection of trace intervals for a whole run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    entries: Vec<TraceEntry>,
+    num_procs: usize,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace for `num_procs` processors.
+    pub fn new(num_procs: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            num_procs,
+        }
+    }
+
+    /// Number of processors covered by the trace.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// Records an interval.
+    ///
+    /// # Panics
+    /// Panics if the processor index is out of range or the interval is
+    /// reversed.
+    pub fn record(&mut self, proc: usize, start: SimTime, end: SimTime, activity: Activity) {
+        assert!(proc < self.num_procs, "trace: processor out of range");
+        assert!(end >= start, "trace: reversed interval");
+        if end > start {
+            self.entries.push(TraceEntry {
+                proc,
+                start,
+                end,
+                activity,
+            });
+        }
+    }
+
+    /// All recorded entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// End time of the last interval (total traced duration).
+    pub fn span(&self) -> SimTime {
+        self.entries
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total time processor `proc` spent in a given activity.
+    pub fn time_in(&self, proc: usize, activity: Activity) -> SimTime {
+        let total: f64 = self
+            .entries
+            .iter()
+            .filter(|e| e.proc == proc && e.activity == activity)
+            .map(|e| (e.end - e.start).as_secs())
+            .sum();
+        SimTime::from_secs(total)
+    }
+
+    /// Fraction of the traced span processor `proc` spent computing.
+    pub fn busy_fraction(&self, proc: usize) -> f64 {
+        let span = self.span().as_secs();
+        if span == 0.0 {
+            return 0.0;
+        }
+        self.time_in(proc, Activity::Compute).as_secs() / span
+    }
+
+    /// Fraction of the traced span processor `proc` spent idle.
+    pub fn idle_fraction(&self, proc: usize) -> f64 {
+        let span = self.span().as_secs();
+        if span == 0.0 {
+            return 0.0;
+        }
+        self.time_in(proc, Activity::Idle).as_secs() / span
+    }
+
+    /// Renders the trace as an ASCII timeline of `width` columns per
+    /// processor, in the spirit of Figures 1 and 2 of the paper
+    /// (`#` = compute, `.` = idle, `>` = send, `<` = receive).
+    pub fn gantt_ascii(&self, width: usize) -> String {
+        assert!(width > 0, "gantt width must be positive");
+        let span = self.span().as_secs();
+        let mut out = String::new();
+        for p in 0..self.num_procs {
+            let mut row = vec!['.'; width];
+            if span > 0.0 {
+                for e in self.entries.iter().filter(|e| e.proc == p) {
+                    let a = ((e.start.as_secs() / span) * width as f64).floor() as usize;
+                    let b = ((e.end.as_secs() / span) * width as f64).ceil() as usize;
+                    for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                        // Compute wins over send/receive wins over idle when
+                        // intervals share a cell at this resolution.
+                        let g = e.activity.glyph();
+                        if *cell == '.'
+                            || g == '#'
+                            || (*cell != '#' && (g == '>' || g == '<'))
+                        {
+                            *cell = g;
+                        }
+                    }
+                }
+            }
+            out.push_str(&format!("P{p:<2} |"));
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn record_and_span() {
+        let mut tr = ExecutionTrace::new(2);
+        tr.record(0, t(0.0), t(1.0), Activity::Compute);
+        tr.record(1, t(0.5), t(2.0), Activity::Compute);
+        assert_eq!(tr.span(), t(2.0));
+        assert_eq!(tr.entries().len(), 2);
+    }
+
+    #[test]
+    fn zero_length_intervals_are_dropped() {
+        let mut tr = ExecutionTrace::new(1);
+        tr.record(0, t(1.0), t(1.0), Activity::Idle);
+        assert!(tr.entries().is_empty());
+    }
+
+    #[test]
+    fn time_in_accumulates_per_activity() {
+        let mut tr = ExecutionTrace::new(1);
+        tr.record(0, t(0.0), t(1.0), Activity::Compute);
+        tr.record(0, t(1.0), t(1.5), Activity::Idle);
+        tr.record(0, t(1.5), t(3.0), Activity::Compute);
+        assert_eq!(tr.time_in(0, Activity::Compute), t(2.5));
+        assert_eq!(tr.time_in(0, Activity::Idle), t(0.5));
+        assert!((tr.busy_fraction(0) - 2.5 / 3.0).abs() < 1e-12);
+        assert!((tr.idle_fraction(0) - 0.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_one_row_per_processor() {
+        let mut tr = ExecutionTrace::new(2);
+        tr.record(0, t(0.0), t(1.0), Activity::Compute);
+        tr.record(1, t(0.0), t(0.5), Activity::Idle);
+        tr.record(1, t(0.5), t(1.0), Activity::Compute);
+        let g = tr.gantt_ascii(10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('#'));
+        assert!(lines[1].contains('#'));
+        assert!(lines[1].contains('.'));
+    }
+
+    #[test]
+    fn empty_trace_has_zero_fractions() {
+        let tr = ExecutionTrace::new(1);
+        assert_eq!(tr.busy_fraction(0), 0.0);
+        assert_eq!(tr.idle_fraction(0), 0.0);
+        assert_eq!(tr.span(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "processor out of range")]
+    fn recording_unknown_processor_is_rejected() {
+        let mut tr = ExecutionTrace::new(1);
+        tr.record(1, t(0.0), t(1.0), Activity::Compute);
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed interval")]
+    fn reversed_interval_is_rejected() {
+        let mut tr = ExecutionTrace::new(1);
+        tr.record(0, t(2.0), t(1.0), Activity::Compute);
+    }
+}

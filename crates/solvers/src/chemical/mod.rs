@@ -1,0 +1,323 @@
+//! The non-linear chemical benchmark problem (Section 4.2 of the paper).
+//!
+//! A two-species advection–diffusion system is discretised by finite
+//! differences on an (x, z) grid and integrated over a time interval with the
+//! implicit Euler method; each time step is solved by the multi-splitting
+//! Newton method with GMRES as the sequential inner solver. Inside a time
+//! step the per-strip Newton iterations run asynchronously (an AIAC process);
+//! a synchronisation barrier separates consecutive time steps.
+//!
+//! * [`model`] — physical constants, reaction terms, initial profile;
+//! * [`step`] — one implicit-Euler step as an [`aiac_core::kernel::IterativeKernel`];
+//! * [`ChemicalProblem`] — the outer loop over time steps, generic over the
+//!   runtime used for each step.
+
+pub mod model;
+pub mod step;
+
+pub use step::{ChemicalStepKernel, GridGeometry, StepCostModel};
+
+use aiac_core::report::RunReport;
+use aiac_linalg::gmres::GmresParams;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the chemical benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChemicalParams {
+    /// Grid points along x (the paper uses 600, and 1000 for Figure 3).
+    pub nx: usize,
+    /// Grid points along z.
+    pub nz: usize,
+    /// Simulated time interval, in seconds (Table 1 uses 2160 s).
+    pub t_end: f64,
+    /// Time step of the implicit Euler integration (Table 1 uses 180 s).
+    pub dt: f64,
+    /// Number of blocks (horizontal strips / processors).
+    pub blocks: usize,
+    /// Residual threshold used for the inner (per time step) convergence.
+    pub epsilon: f64,
+    /// Parameters of the inner GMRES solver.
+    pub gmres: GmresParams,
+    /// Flops charged per grid point per Newton iteration (virtual cost model
+    /// for the simulated runtime).
+    pub flops_per_point: f64,
+    /// Reference machine throughput (flop/s) for the virtual cost model.
+    pub reference_flops: f64,
+    /// Scale factor applied to the virtual compute cost: `paper_scaled` sets
+    /// it to `(600·600) / (nx·nz)` so a reduced grid is simulated with the
+    /// full-size per-iteration compute time (the Newton iteration counts are
+    /// essentially grid-size independent). Set to 1.0 to simulate the reduced
+    /// grid literally.
+    pub cost_scale: f64,
+    /// Scale factor applied to the boundary-row message sizes (the paper's
+    /// rows hold 600 points; `paper_scaled` sets this to `600 / nx`).
+    pub comm_scale: f64,
+    /// Number of inner synchronisations per outer iteration charged to the
+    /// *synchronous* baseline, reflecting the paper's globally-synchronised
+    /// Newton/parallel-GMRES version (one synchronisation per inner linear
+    /// iteration). The asynchronous versions never use it.
+    pub sync_inner_collectives: usize,
+}
+
+impl ChemicalParams {
+    /// A scaled-down version of the paper's Table 1 configuration: same time
+    /// interval and step, grid size as requested.
+    pub fn paper_scaled(nx: usize, nz: usize, blocks: usize) -> Self {
+        Self {
+            nx,
+            nz,
+            t_end: 2160.0,
+            dt: 180.0,
+            blocks,
+            epsilon: 1e-8,
+            // Inexact Newton: each block relaxation performs a short GMRES
+            // solve (the multi-splitting process iterates more, like the
+            // paper's inner process, instead of nesting a fully converged
+            // linear solve inside every exchange).
+            gmres: GmresParams {
+                restart: 6,
+                tol: 1e-2,
+                abs_tol: 1e-14,
+                max_restarts: 1,
+            },
+            flops_per_point: 300.0,
+            reference_flops: 1.5e8,
+            cost_scale: (600.0 * 600.0) / (nx as f64 * nz as f64),
+            comm_scale: 600.0 / nx as f64,
+            sync_inner_collectives: 20,
+        }
+    }
+
+    /// The paper's full-size configuration (600 × 600 grid).
+    pub fn paper_full(blocks: usize) -> Self {
+        Self::paper_scaled(600, 600, blocks)
+    }
+
+    /// Number of implicit Euler steps in the time interval.
+    pub fn num_steps(&self) -> usize {
+        (self.t_end / self.dt).ceil() as usize
+    }
+}
+
+/// Aggregated result of integrating the chemical problem over its whole time
+/// interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChemicalSolution {
+    /// Final concentration field (z-major layout, two species per point).
+    pub final_state: Vec<f64>,
+    /// The per-time-step run reports.
+    pub step_reports: Vec<RunReport>,
+    /// Sum of the per-step execution times (seconds — virtual or wall-clock
+    /// depending on the runtime that produced the reports).
+    pub total_elapsed_secs: f64,
+    /// Total number of data messages over all steps.
+    pub total_data_messages: u64,
+    /// Total data payload bytes over all steps.
+    pub total_data_bytes: u64,
+    /// True when every time step reached convergence.
+    pub all_converged: bool,
+}
+
+impl ChemicalSolution {
+    /// Mean number of inner iterations per block per time step.
+    pub fn mean_inner_iterations(&self) -> f64 {
+        if self.step_reports.is_empty() {
+            return 0.0;
+        }
+        self.step_reports
+            .iter()
+            .map(|r| r.mean_iterations())
+            .sum::<f64>()
+            / self.step_reports.len() as f64
+    }
+}
+
+/// The chemical problem: grid, time interval, decomposition.
+#[derive(Debug, Clone)]
+pub struct ChemicalProblem {
+    params: ChemicalParams,
+    geometry: GridGeometry,
+}
+
+impl ChemicalProblem {
+    /// Creates the problem from its parameters.
+    pub fn new(params: ChemicalParams) -> Self {
+        let geometry = GridGeometry::new(params.nx, params.nz);
+        assert!(
+            params.blocks >= 1 && params.blocks <= params.nz,
+            "blocks must be between 1 and nz"
+        );
+        assert!(params.t_end > 0.0 && params.dt > 0.0, "time parameters must be positive");
+        Self { params, geometry }
+    }
+
+    /// The parameters of the problem.
+    pub fn params(&self) -> &ChemicalParams {
+        &self.params
+    }
+
+    /// The grid geometry.
+    pub fn geometry(&self) -> &GridGeometry {
+        &self.geometry
+    }
+
+    /// The initial concentration field.
+    pub fn initial_state(&self) -> Vec<f64> {
+        self.geometry.initial_state()
+    }
+
+    /// Number of implicit Euler steps.
+    pub fn num_steps(&self) -> usize {
+        self.params.num_steps()
+    }
+
+    /// Builds the kernel of time step `step_index` (0-based), starting from
+    /// the state `y_prev`.
+    pub fn step_kernel(&self, y_prev: Vec<f64>, step_index: usize) -> ChemicalStepKernel {
+        let t_next = (step_index as f64 + 1.0) * self.params.dt;
+        ChemicalStepKernel::new(
+            self.geometry,
+            self.params.blocks,
+            y_prev,
+            t_next,
+            self.params.dt,
+            self.params.gmres,
+            step::StepCostModel {
+                flops_per_point: self.params.flops_per_point,
+                reference_flops: self.params.reference_flops,
+                cost_scale: self.params.cost_scale,
+                comm_scale: self.params.comm_scale,
+                sync_inner_collectives: self.params.sync_inner_collectives,
+            },
+        )
+    }
+
+    /// Integrates the whole time interval, delegating the solution of each
+    /// time step to `run_step` (typically a closure invoking one of the
+    /// `aiac-core` runtimes). The synchronisation between time steps — the
+    /// paper's per-step barrier — is implicit: step `k+1` only starts once
+    /// `run_step` has returned the solution of step `k`.
+    pub fn solve_with<F>(&self, mut run_step: F) -> ChemicalSolution
+    where
+        F: FnMut(&ChemicalStepKernel, usize) -> RunReport,
+    {
+        let mut y = self.initial_state();
+        let mut step_reports = Vec::with_capacity(self.num_steps());
+        let mut total_elapsed = 0.0;
+        let mut total_data_messages = 0;
+        let mut total_data_bytes = 0;
+        let mut all_converged = true;
+        for step_index in 0..self.num_steps() {
+            let kernel = self.step_kernel(y, step_index);
+            let report = run_step(&kernel, step_index);
+            assert_eq!(
+                report.solution.len(),
+                self.geometry.num_unknowns(),
+                "runtime returned a solution of the wrong size"
+            );
+            y = report.solution.clone();
+            total_elapsed += report.elapsed_secs;
+            total_data_messages += report.data_messages;
+            total_data_bytes += report.data_bytes;
+            all_converged &= report.converged;
+            step_reports.push(report);
+        }
+        ChemicalSolution {
+            final_state: y,
+            step_reports,
+            total_elapsed_secs: total_elapsed,
+            total_data_messages,
+            total_data_bytes,
+            all_converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiac_core::config::RunConfig;
+    use aiac_core::runtime::sequential::SequentialRuntime;
+    use aiac_core::runtime::threaded::ThreadedRuntime;
+
+    fn small_params(blocks: usize) -> ChemicalParams {
+        let mut p = ChemicalParams::paper_scaled(10, 10, blocks);
+        p.t_end = 360.0; // two time steps keep the tests fast
+        p
+    }
+
+    #[test]
+    fn num_steps_follows_the_time_interval() {
+        assert_eq!(ChemicalParams::paper_scaled(10, 10, 2).num_steps(), 12);
+        assert_eq!(small_params(2).num_steps(), 2);
+    }
+
+    #[test]
+    fn sequential_integration_produces_finite_positive_concentrations() {
+        let problem = ChemicalProblem::new(small_params(1));
+        let cfg = RunConfig::synchronous(1e-9);
+        let solution = problem.solve_with(|kernel, _| SequentialRuntime::new().run(kernel, &cfg));
+        assert!(solution.all_converged);
+        assert_eq!(solution.step_reports.len(), 2);
+        assert!(solution.final_state.iter().all(|v| v.is_finite() && *v >= 0.0));
+        // species 1 is destroyed at night: its final concentration is far
+        // below its initial value
+        let initial = problem.initial_state();
+        let g = problem.geometry();
+        let idx = g.index(0, 5, 5);
+        assert!(solution.final_state[idx] < initial[idx]);
+    }
+
+    #[test]
+    fn decomposed_run_matches_the_single_block_reference() {
+        let reference_problem = ChemicalProblem::new(small_params(1));
+        let cfg = RunConfig::synchronous(1e-10);
+        let reference =
+            reference_problem.solve_with(|k, _| SequentialRuntime::new().run(k, &cfg));
+
+        let decomposed_problem = ChemicalProblem::new(small_params(3));
+        let decomposed =
+            decomposed_problem.solve_with(|k, _| SequentialRuntime::new().run(k, &cfg));
+
+        assert!(reference.all_converged && decomposed.all_converged);
+        for (a, b) in reference.final_state.iter().zip(&decomposed.final_state) {
+            let scale = a.abs().max(1.0);
+            assert!(((a - b) / scale).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn threaded_async_integration_matches_the_reference() {
+        let reference_problem = ChemicalProblem::new(small_params(1));
+        let sync_cfg = RunConfig::synchronous(1e-10);
+        let reference =
+            reference_problem.solve_with(|k, _| SequentialRuntime::new().run(k, &sync_cfg));
+
+        let async_problem = ChemicalProblem::new(small_params(2));
+        let async_cfg = RunConfig::asynchronous(1e-10).with_streak(4);
+        let parallel =
+            async_problem.solve_with(|k, _| ThreadedRuntime::new().run(k, &async_cfg));
+
+        assert!(parallel.all_converged);
+        assert!(parallel.total_data_messages > 0);
+        for (a, b) in reference.final_state.iter().zip(&parallel.final_state) {
+            let scale = a.abs().max(1.0);
+            assert!(((a - b) / scale).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn solution_statistics_are_aggregated() {
+        let problem = ChemicalProblem::new(small_params(2));
+        let cfg = RunConfig::synchronous(1e-9);
+        let solution = problem.solve_with(|k, _| SequentialRuntime::new().run(k, &cfg));
+        assert!(solution.mean_inner_iterations() > 0.0);
+        assert!(solution.total_elapsed_secs >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks must be between 1 and nz")]
+    fn too_many_blocks_are_rejected() {
+        ChemicalProblem::new(ChemicalParams::paper_scaled(10, 10, 50));
+    }
+}

@@ -1,0 +1,28 @@
+//! `aiac-solvers` — the two benchmark problems of the AIAC paper.
+//!
+//! * [`sparse_linear`] — the banded sparse linear system `A·x = b` solved by
+//!   the fixed-step gradient descent
+//!   `x_{k+1} = x_k + γ·M⁻¹·(b − A·x_k)` (Jacobi for γ = 1), with the
+//!   all-to-all dependency-driven communication scheme of Section 4.1/4.3;
+//! * [`chemical`] — the 2-species advection–diffusion problem of Section 4.2:
+//!   finite-difference discretization on an (x, z) grid, implicit Euler over
+//!   the time interval, multi-splitting Newton per time step with GMRES as
+//!   the sequential inner solver, vertical strip decomposition and
+//!   neighbour-only communications;
+//! * [`verify`] — sequential reference solutions used by the test-suite to
+//!   check that every parallel/asynchronous run converges to the right fixed
+//!   point.
+//!
+//! Both problems implement [`aiac_core::kernel::IterativeKernel`], so the
+//! same code runs on the threaded runtime, the simulated grid runtime and the
+//! sequential reference runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chemical;
+pub mod sparse_linear;
+pub mod verify;
+
+pub use chemical::{ChemicalParams, ChemicalProblem};
+pub use sparse_linear::{SparseLinearParams, SparseLinearProblem};

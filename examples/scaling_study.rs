@@ -1,0 +1,56 @@
+//! Mini scaling study in the spirit of Figure 3: how the synchronous and
+//! asynchronous versions behave as processors are added on the simulated
+//! local heterogeneous cluster (Duron 800 / P4 1.7 / P4 2.4 interleaved on
+//! 100 Mb Ethernet).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use aiac::core::config::RunConfig;
+use aiac::core::runtime::simulated::SimulatedRuntime;
+use aiac::envs::env::EnvKind;
+use aiac::envs::threads::ProblemKind;
+use aiac::netsim::topology::GridTopology;
+use aiac::solvers::chemical::{ChemicalParams, ChemicalProblem};
+
+fn main() {
+    println!("chemical problem on the local heterogeneous cluster (virtual seconds)");
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>8}",
+        "processors", "sync MPI", "async PM2", "ratio"
+    );
+    for &n in &[4usize, 8, 12, 16, 24] {
+        let mut params = ChemicalParams::paper_scaled(48, 48, n);
+        params.t_end = 540.0; // three implicit Euler steps
+        let problem = ChemicalProblem::new(params.clone());
+        let topology = GridTopology::local_hetero_cluster(n);
+
+        let sync_runtime = SimulatedRuntime::new(
+            topology.clone(),
+            EnvKind::MpiSync,
+            ProblemKind::NonLinearChemical,
+        );
+        let sync_cfg = RunConfig::synchronous(params.epsilon);
+        let sync = problem.solve_with(|kernel, _| sync_runtime.run(kernel, &sync_cfg).report);
+
+        let async_runtime = SimulatedRuntime::new(
+            topology.clone(),
+            EnvKind::Pm2,
+            ProblemKind::NonLinearChemical,
+        );
+        let async_cfg = RunConfig::asynchronous(params.epsilon).with_streak(3);
+        let asynchronous =
+            problem.solve_with(|kernel, _| async_runtime.run(kernel, &async_cfg).report);
+
+        println!(
+            "{:>10}  {:>12.1}  {:>12.1}  {:>8.2}",
+            n,
+            sync.total_elapsed_secs,
+            asynchronous.total_elapsed_secs,
+            sync.total_elapsed_secs / asynchronous.total_elapsed_secs
+        );
+    }
+    println!("\n(adding processors helps until the per-processor strip becomes too thin)");
+}

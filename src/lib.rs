@@ -1,0 +1,36 @@
+//! `aiac` — facade crate of the `aiac-rs` workspace.
+//!
+//! This crate re-exports the public API of every member crate so downstream
+//! users (and the examples and integration tests in this repository) can
+//! depend on a single crate:
+//!
+//! * [`linalg`] — sparse/dense linear algebra, GMRES, block-Jacobi;
+//! * [`netsim`] — the deterministic discrete-event grid simulator;
+//! * [`envs`] — models of the PM2, MPICH/Madeleine and OmniORB programming
+//!   environments plus the synchronous MPI baseline;
+//! * [`core`] — the AIAC runtime (asynchronous iterations, convergence
+//!   detection, threaded and simulated back-ends);
+//! * [`solvers`] — the two benchmark problems of the paper (banded sparse
+//!   linear systems and the 2-species advection–diffusion chemical problem).
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use aiac_core as core;
+pub use aiac_envs as envs;
+pub use aiac_linalg as linalg;
+pub use aiac_netsim as netsim;
+pub use aiac_solvers as solvers;
+
+/// Commonly used items, importable with `use aiac::prelude::*`.
+pub mod prelude {
+    pub use aiac_core::config::{ExecutionMode, RunConfig};
+    pub use aiac_core::kernel::IterativeKernel;
+    pub use aiac_core::report::RunReport;
+    pub use aiac_envs::env::EnvKind;
+    pub use aiac_linalg::{BandedSpec, CsrMatrix, Partition};
+    pub use aiac_netsim::topology::GridTopology;
+    pub use aiac_solvers::sparse_linear::SparseLinearProblem;
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration tests for the non-linear chemical benchmark.
+
+use aiac::core::config::RunConfig;
+use aiac::core::runtime::sequential::SequentialRuntime;
+use aiac::core::runtime::simulated::SimulatedRuntime;
+use aiac::core::runtime::threaded::ThreadedRuntime;
+use aiac::envs::env::EnvKind;
+use aiac::envs::threads::ProblemKind;
+use aiac::netsim::topology::GridTopology;
+use aiac::solvers::chemical::{ChemicalParams, ChemicalProblem};
+use aiac::solvers::verify;
+
+fn params(blocks: usize) -> ChemicalParams {
+    let mut p = ChemicalParams::paper_scaled(12, 12, blocks);
+    p.t_end = 360.0; // two implicit Euler steps keep the test quick
+    p
+}
+
+#[test]
+fn threaded_and_simulated_integrations_match_the_sequential_reference() {
+    let reference = verify::chemical_reference(&ChemicalProblem::new(params(1)), 1e-10);
+
+    // Threaded asynchronous integration, 3 strips.
+    let problem = ChemicalProblem::new(params(3));
+    let async_cfg = RunConfig::asynchronous(1e-10).with_streak(4);
+    let runtime = ThreadedRuntime::new();
+    let threaded = problem.solve_with(|kernel, _| runtime.run(kernel, &async_cfg));
+    assert!(threaded.all_converged);
+    assert!(
+        verify::solutions_agree(&threaded.final_state, &reference.final_state, 1e-4),
+        "threaded AIAC drifted from the reference"
+    );
+
+    // Simulated asynchronous integration on the ADSL grid, 4 strips.
+    let problem = ChemicalProblem::new(params(4));
+    let grid = GridTopology::ethernet_adsl_4_sites(4);
+    let sim_runtime = SimulatedRuntime::new(grid, EnvKind::Pm2, ProblemKind::NonLinearChemical);
+    let simulated = problem.solve_with(|kernel, _| sim_runtime.run(kernel, &async_cfg).report);
+    assert!(simulated.all_converged);
+    assert!(
+        verify::solutions_agree(&simulated.final_state, &reference.final_state, 1e-4),
+        "simulated AIAC drifted from the reference"
+    );
+    assert!(simulated.total_data_messages > 0);
+}
+
+#[test]
+fn per_time_step_barrier_is_respected() {
+    // Each step's kernel must start from the previous step's solution: run
+    // two steps manually and compare against solve_with.
+    let problem = ChemicalProblem::new(params(2));
+    let cfg = RunConfig::synchronous(1e-9);
+    let runtime = SequentialRuntime::new();
+
+    let mut y = problem.initial_state();
+    for step in 0..problem.num_steps() {
+        let kernel = problem.step_kernel(y.clone(), step);
+        y = runtime.run(&kernel, &cfg).solution;
+    }
+    let combined = problem.solve_with(|kernel, _| runtime.run(kernel, &cfg));
+    assert_eq!(combined.final_state, y);
+}
+
+#[test]
+fn concentrations_remain_physical_across_backends() {
+    let problem = ChemicalProblem::new(params(3));
+    let cfg = RunConfig::asynchronous(1e-9).with_streak(3);
+    let runtime = ThreadedRuntime::new();
+    let solution = problem.solve_with(|kernel, _| runtime.run(kernel, &cfg));
+    assert!(solution
+        .final_state
+        .iter()
+        .all(|v| v.is_finite() && *v >= 0.0));
+    // species 2 stays around its 1e12 scale
+    let g = problem.geometry();
+    let c2 = solution.final_state[g.index(1, 6, 6)];
+    assert!(c2 > 1e11 && c2 < 1e13, "c2 = {c2:e}");
+}
+
+#[test]
+fn simulated_async_chemical_beats_sync_on_the_distant_grid() {
+    let p = {
+        let mut p = ChemicalParams::paper_scaled(12, 12, 12);
+        p.t_end = 360.0;
+        p
+    };
+    let problem = ChemicalProblem::new(p.clone());
+    let grid = GridTopology::ethernet_3_sites(12);
+
+    let sync_rt = SimulatedRuntime::new(grid.clone(), EnvKind::MpiSync, ProblemKind::NonLinearChemical);
+    let sync_cfg = RunConfig::synchronous(p.epsilon);
+    let sync = problem.solve_with(|k, _| sync_rt.run(k, &sync_cfg).report);
+
+    let async_rt = SimulatedRuntime::new(grid, EnvKind::MpiMadeleine, ProblemKind::NonLinearChemical);
+    let async_cfg = RunConfig::asynchronous(p.epsilon).with_streak(3);
+    let asynchronous = problem.solve_with(|k, _| async_rt.run(k, &async_cfg).report);
+
+    assert!(sync.all_converged && asynchronous.all_converged);
+    assert!(
+        asynchronous.total_elapsed_secs < sync.total_elapsed_secs,
+        "async {:.1} s should beat sync {:.1} s",
+        asynchronous.total_elapsed_secs,
+        sync.total_elapsed_secs
+    );
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the qualitative findings of the paper's comparison:
+//! environment orderings, deployment/programming scores and the behaviour of
+//! the platform presets.
+
+use aiac::core::config::RunConfig;
+use aiac::core::runtime::simulated::SimulatedRuntime;
+use aiac::envs::deploy::ConnectionGraph;
+use aiac::envs::env::EnvKind;
+use aiac::envs::threads::ProblemKind;
+use aiac::netsim::topology::GridTopology;
+use aiac::solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
+
+#[test]
+fn qualitative_comparison_matches_section_5() {
+    // Ease of programming: MPI/Mad easiest (Section 5.2).
+    let mpi_mad = EnvKind::MpiMadeleine.build();
+    for other in [EnvKind::Pm2, EnvKind::OmniOrb] {
+        assert!(mpi_mad.ease_of_programming() >= other.build().ease_of_programming());
+    }
+    // Ease of deployment: OmniORB ahead (Section 5.3).
+    let orb = EnvKind::OmniOrb.build();
+    assert!(orb.deployment().ease_score() >= mpi_mad.deployment().ease_score());
+    assert!(orb.deployment().ease_score() > EnvKind::Pm2.build().deployment().ease_score());
+    assert_eq!(
+        orb.deployment().connection_graph,
+        ConnectionGraph::IncompleteAllowed
+    );
+    // Only the ORB needs a run-time service (the naming service).
+    assert!(orb.deployment().needs_runtime_service);
+    assert!(!EnvKind::Pm2.build().deployment().needs_runtime_service);
+}
+
+#[test]
+fn environment_spread_is_modest_on_the_same_problem() {
+    // "the tested environments globally have the same behavior with AIAC
+    // algorithms": the async environments stay within a modest factor of
+    // each other.
+    let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(360, 6));
+    let grid = GridTopology::ethernet_3_sites(6);
+    let config = RunConfig::asynchronous(1e-7).with_streak(3);
+    let times: Vec<f64> = EnvKind::ASYNC
+        .iter()
+        .map(|&env| {
+            SimulatedRuntime::new(grid.clone(), env, ProblemKind::SparseLinear)
+                .run(&problem, &config)
+                .report
+                .elapsed_secs
+        })
+        .collect();
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        max / min < 2.0,
+        "async environments should stay within 2x of each other, got {times:?}"
+    );
+}
+
+#[test]
+fn adsl_links_slow_the_grid_down() {
+    // Compare the synchronous version (whose iteration count is fixed by the
+    // contraction factor) on the two distant-grid presets: the platform with
+    // the asymmetric ADSL links must be slower at equal work.
+    let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(360, 8));
+    let config = RunConfig::synchronous(1e-6);
+    let ethernet = SimulatedRuntime::new(
+        GridTopology::ethernet_3_sites(8),
+        EnvKind::MpiSync,
+        ProblemKind::SparseLinear,
+    )
+    .run(&problem, &config);
+    let adsl = SimulatedRuntime::new(
+        GridTopology::ethernet_adsl_4_sites(8),
+        EnvKind::MpiSync,
+        ProblemKind::SparseLinear,
+    )
+    .run(&problem, &config);
+    assert!(ethernet.report.converged && adsl.report.converged);
+    assert!(
+        adsl.report.elapsed_secs > ethernet.report.elapsed_secs,
+        "ADSL grid ({:.1} s) should be slower than the Ethernet grid ({:.1} s)",
+        adsl.report.elapsed_secs,
+        ethernet.report.elapsed_secs
+    );
+}
+
+#[test]
+fn simulation_outcomes_are_reproducible() {
+    let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(300, 6));
+    let grid = GridTopology::ethernet_adsl_4_sites(6);
+    let config = RunConfig::asynchronous(1e-7).with_streak(3);
+    let run = || {
+        SimulatedRuntime::new(grid.clone(), EnvKind::OmniOrb, ProblemKind::SparseLinear)
+            .run(&problem, &config)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report.elapsed_secs, b.report.elapsed_secs);
+    assert_eq!(a.report.iterations, b.report.iterations);
+    assert_eq!(a.report.solution, b.report.solution);
+    assert_eq!(a.network.messages, b.network.messages);
+}
+
+#[test]
+fn prelude_exposes_the_common_types() {
+    use aiac::prelude::*;
+    // The facade is usable on its own for the common workflow.
+    let problem = SparseLinearProblem::new(
+        aiac::solvers::sparse_linear::SparseLinearParams::paper_scaled(120, 4),
+    );
+    let topo = GridTopology::homogeneous_cluster(4);
+    let _ = (problem.num_blocks(), topo.num_hosts());
+    let config = RunConfig {
+        mode: ExecutionMode::Asynchronous,
+        ..RunConfig::asynchronous(1e-6)
+    };
+    config.validate();
+    let _ = EnvKind::ALL;
+    let _report_type_is_reexported: Option<RunReport> = None;
+}

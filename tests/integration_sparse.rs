@@ -1,0 +1,102 @@
+//! Cross-crate integration tests for the sparse linear benchmark: the same
+//! problem instance must be solved consistently by every runtime back-end and
+//! every environment model.
+
+use aiac::core::config::RunConfig;
+use aiac::core::runtime::sequential::SequentialRuntime;
+use aiac::core::runtime::simulated::SimulatedRuntime;
+use aiac::core::runtime::threaded::ThreadedRuntime;
+use aiac::envs::env::EnvKind;
+use aiac::envs::threads::ProblemKind;
+use aiac::netsim::topology::GridTopology;
+use aiac::solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
+
+fn problem(blocks: usize) -> SparseLinearProblem {
+    SparseLinearProblem::new(SparseLinearParams::paper_scaled(360, blocks))
+}
+
+#[test]
+fn every_backend_agrees_with_the_exact_solution() {
+    let p = problem(6);
+    let sync_cfg = RunConfig::synchronous(1e-10);
+    let async_cfg = RunConfig::asynchronous(1e-10).with_streak(4);
+
+    let sequential = SequentialRuntime::new().run(&p, &sync_cfg);
+    assert!(sequential.converged);
+    assert!(p.error_of(&sequential.solution) < 1e-7);
+
+    let threaded_sync = ThreadedRuntime::new().run(&p, &sync_cfg);
+    assert!(threaded_sync.converged);
+    assert_eq!(threaded_sync.solution, sequential.solution);
+
+    let threaded_async = ThreadedRuntime::new().run(&p, &async_cfg);
+    assert!(threaded_async.converged);
+    assert!(p.error_of(&threaded_async.solution) < 1e-6);
+
+    let grid = GridTopology::ethernet_3_sites(6);
+    for env in EnvKind::ASYNC {
+        let sim = SimulatedRuntime::new(grid.clone(), env, ProblemKind::SparseLinear)
+            .run(&p, &async_cfg);
+        assert!(sim.report.converged, "{env} failed to converge");
+        assert!(
+            p.error_of(&sim.report.solution) < 1e-5,
+            "{env} error {:.2e}",
+            p.error_of(&sim.report.solution)
+        );
+    }
+}
+
+#[test]
+fn simulated_async_beats_simulated_sync_on_the_papers_platform() {
+    // The paper only runs the sparse linear problem on the distant Ethernet
+    // grid ("it does not make sense to make this kind of computations on very
+    // slow networks" for the ADSL platform, and the local-cluster figure uses
+    // the non-linear problem), so that is the platform where the asynchronous
+    // advantage is asserted; the other presets are exercised by the chemical
+    // integration tests.
+    let p = problem(6);
+    for grid in [GridTopology::ethernet_3_sites(6)] {
+        let sync = SimulatedRuntime::new(grid.clone(), EnvKind::MpiSync, ProblemKind::SparseLinear)
+            .run(&p, &RunConfig::synchronous(1e-8));
+        let pm2 = SimulatedRuntime::new(grid.clone(), EnvKind::Pm2, ProblemKind::SparseLinear)
+            .run(&p, &RunConfig::asynchronous(1e-8).with_streak(3));
+        assert!(sync.report.converged && pm2.report.converged, "{}", grid.name());
+        assert!(
+            pm2.report.elapsed_secs < sync.report.elapsed_secs,
+            "{}: async {:.1} s should beat sync {:.1} s",
+            grid.name(),
+            pm2.report.elapsed_secs,
+            sync.report.elapsed_secs
+        );
+    }
+}
+
+#[test]
+fn asynchronous_iteration_counts_reflect_machine_heterogeneity() {
+    let p = problem(6);
+    let grid = GridTopology::local_hetero_cluster(6);
+    let sim = SimulatedRuntime::new(grid, EnvKind::OmniOrb, ProblemKind::SparseLinear)
+        .run(&p, &RunConfig::asynchronous(1e-8));
+    // Host 2 (P4 2.4 GHz) is three times faster than host 0 (Duron 800); its
+    // block must get through substantially more local iterations.
+    let fast = sim.report.iterations[2];
+    let slow = sim.report.iterations[0];
+    assert!(
+        fast > slow * 2,
+        "expected the fast machine ({fast} iterations) to do at least twice the work of the slow one ({slow})"
+    );
+}
+
+#[test]
+fn message_volume_matches_the_dependency_structure() {
+    let p = problem(8);
+    let grid = GridTopology::ethernet_3_sites(8);
+    let sim = SimulatedRuntime::new(grid, EnvKind::MpiMadeleine, ProblemKind::SparseLinear)
+        .run(&p, &RunConfig::asynchronous(1e-7).with_streak(3));
+    // all-to-all dependencies: every data message carries a positive payload
+    assert!(sim.report.data_messages > 0);
+    assert!(sim.report.data_bytes > sim.report.data_messages);
+    // control traffic (state + stop) exists but stays far below data traffic
+    assert!(sim.report.control_messages > 0);
+    assert!(sim.report.control_messages < sim.report.data_messages);
+}

@@ -1,0 +1,90 @@
+//! Property-based integration tests: for randomly generated contractive
+//! problems, the asynchronous runtimes must converge to the same fixed point
+//! as the sequential reference, and the simulator must stay deterministic.
+
+use aiac::core::config::RunConfig;
+use aiac::core::runtime::sequential::SequentialRuntime;
+use aiac::core::runtime::simulated::SimulatedRuntime;
+use aiac::core::runtime::threaded::ThreadedRuntime;
+use aiac::envs::env::EnvKind;
+use aiac::envs::threads::ProblemKind;
+use aiac::netsim::topology::GridTopology;
+use aiac::solvers::sparse_linear::{MatrixShape, SparseLinearParams, SparseLinearProblem};
+use proptest::prelude::*;
+
+fn random_problem(n: usize, blocks: usize, contraction: f64, seed: u64) -> SparseLinearProblem {
+    let params = SparseLinearParams {
+        n,
+        sub_diagonals: 10,
+        shape: MatrixShape::ScatteredDiagonals,
+        contraction,
+        gamma: 1.0,
+        blocks,
+        seed,
+        reference_flops: 1.5e8,
+        cost_scale: 1_000.0,
+    };
+    SparseLinearProblem::new(params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The simulated AIAC run agrees with the sequential reference for any
+    /// contraction factor, block count and seed.
+    #[test]
+    fn prop_simulated_async_matches_sequential(
+        blocks in 2usize..6,
+        contraction in 0.3f64..0.92,
+        seed in 0u64..50,
+    ) {
+        let problem = random_problem(180, blocks, contraction, seed);
+        let reference = SequentialRuntime::new().run(&problem, &RunConfig::synchronous(1e-10));
+        prop_assert!(reference.converged);
+
+        let grid = GridTopology::ethernet_3_sites(blocks);
+        let sim = SimulatedRuntime::new(grid, EnvKind::Pm2, ProblemKind::SparseLinear)
+            .run(&problem, &RunConfig::asynchronous(1e-10).with_streak(3));
+        prop_assert!(sim.report.converged);
+        for (a, b) in sim.report.solution.iter().zip(&reference.solution) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    /// The threaded AIAC run also agrees with the sequential reference.
+    #[test]
+    fn prop_threaded_async_matches_sequential(
+        blocks in 2usize..5,
+        seed in 0u64..30,
+    ) {
+        let problem = random_problem(150, blocks, 0.8, seed);
+        let reference = SequentialRuntime::new().run(&problem, &RunConfig::synchronous(1e-10));
+        let report = ThreadedRuntime::new().run(&problem, &RunConfig::asynchronous(1e-10).with_streak(4));
+        prop_assert!(report.converged);
+        for (a, b) in report.solution.iter().zip(&reference.solution) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    /// Simulated execution time shrinks (or at least does not grow) when the
+    /// same problem runs on a faster network.
+    #[test]
+    fn prop_faster_network_is_never_slower(seed in 0u64..20) {
+        let problem = random_problem(180, 6, 0.85, seed);
+        let config = RunConfig::asynchronous(1e-8).with_streak(3);
+        let wan = SimulatedRuntime::new(
+            GridTopology::ethernet_3_sites(6),
+            EnvKind::MpiMadeleine,
+            ProblemKind::SparseLinear,
+        )
+        .run(&problem, &config);
+        let lan = SimulatedRuntime::new(
+            GridTopology::homogeneous_cluster(6),
+            EnvKind::MpiMadeleine,
+            ProblemKind::SparseLinear,
+        )
+        .run(&problem, &config);
+        prop_assert!(wan.report.converged && lan.report.converged);
+        prop_assert!(lan.report.elapsed_secs <= wan.report.elapsed_secs * 1.05);
+    }
+}
