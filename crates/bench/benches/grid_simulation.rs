@@ -37,7 +37,8 @@ fn bench_network_model(c: &mut Criterion) {
         let topo = GridTopology::ethernet_3_sites(8);
         let config = RunConfig::asynchronous(1e-6).with_streak(3);
         b.iter(|| {
-            let runtime = SimulatedRuntime::new(topo.clone(), EnvKind::Pm2, ProblemKind::SparseLinear);
+            let runtime =
+                SimulatedRuntime::new(topo.clone(), EnvKind::Pm2, ProblemKind::SparseLinear);
             black_box(runtime.run(&problem, &config).report.elapsed_secs)
         });
     });

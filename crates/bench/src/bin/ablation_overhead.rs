@@ -24,10 +24,8 @@ fn main() {
         "processors", "async PM2 (s)", "async MPI/Mad", "async OmniORB 4", "spread %"
     );
     for &blocks in &[6usize, 12, 24] {
-        let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(
-            scale.sparse_n,
-            blocks,
-        ));
+        let problem =
+            SparseLinearProblem::new(SparseLinearParams::paper_scaled(scale.sparse_n, blocks));
         let topology = GridTopology::ethernet_3_sites(blocks);
         let mut times = Vec::new();
         for env in EnvKind::ASYNC {

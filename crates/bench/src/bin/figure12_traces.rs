@@ -19,9 +19,13 @@ fn main() {
     let topology = GridTopology::ethernet_3_sites(2);
     let width = 100;
 
-    let sync = SimulatedRuntime::new(topology.clone(), EnvKind::MpiSync, ProblemKind::SparseLinear)
-        .with_trace(true)
-        .run(&problem, &RunConfig::synchronous(1e-4));
+    let sync = SimulatedRuntime::new(
+        topology.clone(),
+        EnvKind::MpiSync,
+        ProblemKind::SparseLinear,
+    )
+    .with_trace(true)
+    .run(&problem, &RunConfig::synchronous(1e-4));
     let sync_trace = sync.trace.expect("tracing enabled");
     println!("Figure 1 - Execution flow of a SISC algorithm with two processors");
     println!("{}", sync_trace.gantt_ascii(width));

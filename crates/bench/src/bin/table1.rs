@@ -30,7 +30,10 @@ fn main() {
         ),
         ("processors".to_string(), format!("{}", scale.sparse_blocks)),
     ];
-    println!("{}", render_listing("Table 1a - Sparse linear system", &sparse));
+    println!(
+        "{}",
+        render_listing("Table 1a - Sparse linear system", &sparse)
+    );
 
     let chemical = vec![
         (
@@ -48,5 +51,8 @@ fn main() {
         ("time step".to_string(), "180 s".to_string()),
         ("processors".to_string(), format!("{}", scale.chem_blocks)),
     ];
-    println!("{}", render_listing("Table 1b - Non-linear problem", &chemical));
+    println!(
+        "{}",
+        render_listing("Table 1b - Non-linear problem", &chemical)
+    );
 }

@@ -16,7 +16,10 @@ use aiac_solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
 fn main() {
     let scale = ExperimentScale::from_env();
     eprintln!("{}", scale.describe());
-    eprintln!("generating the sparse matrix ({} unknowns)...", scale.sparse_n);
+    eprintln!(
+        "generating the sparse matrix ({} unknowns)...",
+        scale.sparse_n
+    );
     let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(
         scale.sparse_n,
         scale.sparse_blocks,

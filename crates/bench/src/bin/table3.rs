@@ -11,12 +11,16 @@ use aiac_solvers::chemical::ChemicalParams;
 fn main() {
     let scale = ExperimentScale::from_env();
     eprintln!("{}", scale.describe());
-    let mut params = ChemicalParams::paper_scaled(scale.chem_grid, scale.chem_grid, scale.chem_blocks);
+    let mut params =
+        ChemicalParams::paper_scaled(scale.chem_grid, scale.chem_grid, scale.chem_blocks);
     params.t_end = scale.chem_t_end;
     params.epsilon = scale.epsilon;
 
     let platforms = [
-        ("Ethernet", GridTopology::ethernet_3_sites(scale.chem_blocks)),
+        (
+            "Ethernet",
+            GridTopology::ethernet_3_sites(scale.chem_blocks),
+        ),
         (
             "Ethernet and ADSL",
             GridTopology::ethernet_adsl_4_sites(scale.chem_blocks),
@@ -45,7 +49,12 @@ fn main() {
                 result.converged,
                 result.mean_iterations
             );
-            rows.push(TableRow::new(label, env.label(), result.time_secs, sync.time_secs));
+            rows.push(TableRow::new(
+                label,
+                env.label(),
+                result.time_secs,
+                sync.time_secs,
+            ));
         }
     }
 

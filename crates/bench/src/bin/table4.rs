@@ -12,7 +12,10 @@ use aiac_envs::threads::ProblemKind;
 fn main() {
     let processors = 12;
     for (title, problem) in [
-        ("Table 4a - Sparse linear problem", ProblemKind::SparseLinear),
+        (
+            "Table 4a - Sparse linear problem",
+            ProblemKind::SparseLinear,
+        ),
         (
             "Table 4b - Non-linear problem",
             ProblemKind::NonLinearChemical,

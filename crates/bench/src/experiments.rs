@@ -123,7 +123,10 @@ mod tests {
             ExecutionMode::Synchronous
         );
         for env in EnvKind::ASYNC {
-            assert_eq!(run_config_for(env, 1e-7, 3).mode, ExecutionMode::Asynchronous);
+            assert_eq!(
+                run_config_for(env, 1e-7, 3).mode,
+                ExecutionMode::Asynchronous
+            );
         }
     }
 
@@ -132,7 +135,13 @@ mod tests {
         let problem = tiny_sparse();
         let topo = GridTopology::ethernet_3_sites(6);
         let scale = ExperimentScale::scaled();
-        let sync = sparse_experiment(&problem, &topo, EnvKind::MpiSync, scale.epsilon, scale.streak);
+        let sync = sparse_experiment(
+            &problem,
+            &topo,
+            EnvKind::MpiSync,
+            scale.epsilon,
+            scale.streak,
+        );
         assert!(sync.converged);
         for env in EnvKind::ASYNC {
             let run = sparse_experiment(&problem, &topo, env, scale.epsilon, scale.streak);

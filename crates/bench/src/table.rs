@@ -39,13 +39,13 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
     let cluster_width = rows
         .iter()
         .map(|r| r.cluster.len())
-        .chain(["Cluster".len()].into_iter())
+        .chain(["Cluster".len()])
         .max()
         .unwrap_or(8);
     let version_width = rows
         .iter()
         .map(|r| r.version.len())
-        .chain(["Version".len()].into_iter())
+        .chain(["Version".len()])
         .max()
         .unwrap_or(8);
     out.push_str(&format!(

@@ -109,7 +109,10 @@ impl RunConfig {
             self.epsilon.is_finite() && self.epsilon > 0.0,
             "epsilon must be positive and finite"
         );
-        assert!(self.convergence_streak > 0, "convergence_streak must be > 0");
+        assert!(
+            self.convergence_streak > 0,
+            "convergence_streak must be > 0"
+        );
         assert!(self.max_iterations > 0, "max_iterations must be > 0");
     }
 }
@@ -126,8 +129,14 @@ mod tests {
 
     #[test]
     fn constructors_set_the_mode() {
-        assert_eq!(RunConfig::asynchronous(1e-6).mode, ExecutionMode::Asynchronous);
-        assert_eq!(RunConfig::synchronous(1e-6).mode, ExecutionMode::Synchronous);
+        assert_eq!(
+            RunConfig::asynchronous(1e-6).mode,
+            ExecutionMode::Asynchronous
+        );
+        assert_eq!(
+            RunConfig::synchronous(1e-6).mode,
+            ExecutionMode::Synchronous
+        );
     }
 
     #[test]
@@ -158,7 +167,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "max_iterations must be > 0")]
     fn zero_iteration_limit_is_rejected() {
-        RunConfig::asynchronous(1e-6).with_max_iterations(0).validate();
+        RunConfig::asynchronous(1e-6)
+            .with_max_iterations(0)
+            .validate();
     }
 
     #[test]

@@ -73,7 +73,11 @@ impl DependencyGraph {
     /// sends to each iteration (drives the benefit of multiple sending
     /// threads).
     pub fn max_out_degree(&self) -> usize {
-        self.out_neighbours.iter().map(|v| v.len()).max().unwrap_or(0)
+        self.out_neighbours
+            .iter()
+            .map(|v| v.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// True when every pair of distinct blocks is connected in both

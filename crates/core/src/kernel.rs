@@ -54,7 +54,10 @@ impl DependencyView {
 
     /// Stores the latest values of block `id`.
     pub fn set(&mut self, id: usize, values: Vec<f64>) {
-        assert!(id < self.blocks.len(), "DependencyView::set: block out of range");
+        assert!(
+            id < self.blocks.len(),
+            "DependencyView::set: block out of range"
+        );
         self.blocks[id] = Some(values);
     }
 
@@ -159,10 +162,18 @@ pub trait IterativeKernel: Send + Sync {
 
     /// Assembles a full solution vector from per-block values, in block order.
     fn assemble(&self, blocks: &[Vec<f64>]) -> Vec<f64> {
-        assert_eq!(blocks.len(), self.num_blocks(), "assemble: block count mismatch");
+        assert_eq!(
+            blocks.len(),
+            self.num_blocks(),
+            "assemble: block count mismatch"
+        );
         let mut out = Vec::with_capacity(self.total_len());
         for (b, values) in blocks.iter().enumerate() {
-            assert_eq!(values.len(), self.block_len(b), "assemble: block {b} length mismatch");
+            assert_eq!(
+                values.len(),
+                self.block_len(b),
+                "assemble: block {b} length mismatch"
+            );
             out.extend_from_slice(values);
         }
         out
@@ -242,7 +253,12 @@ pub(crate) mod test_kernels {
             }
         }
 
-        fn update_block(&self, block: usize, local: &[f64], others: &DependencyView) -> BlockUpdate {
+        fn update_block(
+            &self,
+            block: usize,
+            local: &[f64],
+            others: &DependencyView,
+        ) -> BlockUpdate {
             let left = (block + self.blocks - 1) % self.blocks;
             let right = (block + 1) % self.blocks;
             let xl = others.get(left).map_or(0.0, |v| v[0]);
@@ -290,7 +306,12 @@ pub(crate) mod test_kernels {
             Vec::new()
         }
 
-        fn update_block(&self, _block: usize, local: &[f64], _others: &DependencyView) -> BlockUpdate {
+        fn update_block(
+            &self,
+            _block: usize,
+            local: &[f64],
+            _others: &DependencyView,
+        ) -> BlockUpdate {
             let new = local[0] * 2.0;
             BlockUpdate {
                 residual: (new - local[0]).abs(),
@@ -346,15 +367,15 @@ mod tests {
         let mut view = DependencyView::from_initial(&kernel);
         let mut blocks: Vec<Vec<f64>> = (0..4).map(|b| kernel.initial_block(b)).collect();
         for _ in 0..200 {
-            for b in 0..4 {
-                let update = kernel.update_block(b, &blocks[b], &view);
-                blocks[b] = update.values.clone();
+            for (b, block) in blocks.iter_mut().enumerate() {
+                let update = kernel.update_block(b, block, &view);
+                *block = update.values.clone();
                 view.set(b, update.values);
             }
         }
         let expected = kernel.fixed_point();
-        for b in 0..4 {
-            assert!((blocks[b][0] - expected).abs() < 1e-10);
+        for block in &blocks {
+            assert!((block[0] - expected).abs() < 1e-10);
         }
     }
 

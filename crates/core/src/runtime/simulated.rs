@@ -125,7 +125,11 @@ impl SimulatedRuntime {
     // Synchronous (SISC) simulation
     // ------------------------------------------------------------------
 
-    fn run_synchronous(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> SimulationOutcome {
+    fn run_synchronous(
+        &self,
+        kernel: &dyn IterativeKernel,
+        config: &RunConfig,
+    ) -> SimulationOutcome {
         let m = kernel.num_blocks();
         let graph = DependencyGraph::from_kernel(kernel);
         let mut network = Network::new(self.topology.clone());
@@ -149,8 +153,8 @@ impl SimulatedRuntime {
                 })
                 .collect();
             if let Some(tr) = trace.as_mut() {
-                for b in 0..m {
-                    tr.record(b, iteration_start, compute_end[b], Activity::Compute);
+                for (b, &end) in compute_end.iter().enumerate() {
+                    tr.record(b, iteration_start, end, Activity::Compute);
                 }
             }
 
@@ -175,9 +179,9 @@ impl SimulatedRuntime {
                 .iter()
                 .copied()
                 .fold(SimTime::ZERO, SimTime::max);
-            for b in 0..m {
+            for (b, &block_end) in compute_end.iter().enumerate() {
                 let src = self.host_of(b);
-                let mut send_clock = compute_end[b];
+                let mut send_clock = block_end;
                 for &dst_block in graph.out_neighbours(b).iter() {
                     let dst = self.host_of(dst_block);
                     let payload = kernel.message_bytes(b, dst_block) + CONTROL_BYTES;
@@ -185,7 +189,7 @@ impl SimulatedRuntime {
                     // The synchronous baseline is mono-threaded: the packing of
                     // every outgoing message is serialised on the single
                     // program thread.
-                    send_clock = send_clock + cost.sender_cpu;
+                    send_clock += cost.sender_cpu;
                     let arrival = if src == dst {
                         send_clock
                     } else {
@@ -215,8 +219,13 @@ impl SimulatedRuntime {
                     let arrival = if src == coord {
                         round_start + cost.sender_cpu + cost.receiver_cpu
                     } else {
-                        network.transfer(src, coord, CONTROL_BYTES, cost.protocol_bytes, round_start)
-                            + cost.receiver_cpu
+                        network.transfer(
+                            src,
+                            coord,
+                            CONTROL_BYTES,
+                            cost.protocol_bytes,
+                            round_start,
+                        ) + cost.receiver_cpu
                     };
                     verdict_time = verdict_time.max(arrival);
                     control_messages += 1;
@@ -227,8 +236,13 @@ impl SimulatedRuntime {
                     let arrival = if dst == coord {
                         verdict_time + cost.sender_cpu + cost.receiver_cpu
                     } else {
-                        network.transfer(coord, dst, CONTROL_BYTES, cost.protocol_bytes, verdict_time)
-                            + cost.receiver_cpu
+                        network.transfer(
+                            coord,
+                            dst,
+                            CONTROL_BYTES,
+                            cost.protocol_bytes,
+                            verdict_time,
+                        ) + cost.receiver_cpu
                     };
                     next_start = next_start.max(arrival);
                     control_messages += 1;
@@ -236,8 +250,8 @@ impl SimulatedRuntime {
             }
 
             if let Some(tr) = trace.as_mut() {
-                for b in 0..m {
-                    tr.record(b, compute_end[b], next_start, Activity::Idle);
+                for (b, &end) in compute_end.iter().enumerate() {
+                    tr.record(b, end, next_start, Activity::Idle);
                 }
             }
             iteration_start = next_start;
@@ -273,7 +287,11 @@ impl SimulatedRuntime {
     // Asynchronous (AIAC) simulation
     // ------------------------------------------------------------------
 
-    fn run_asynchronous(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> SimulationOutcome {
+    fn run_asynchronous(
+        &self,
+        kernel: &dyn IterativeKernel,
+        config: &RunConfig,
+    ) -> SimulationOutcome {
         let m = kernel.num_blocks();
         let graph = DependencyGraph::from_kernel(kernel);
         let mut network = Network::new(self.topology.clone());
@@ -667,9 +685,8 @@ mod tests {
         let kernel = RingContraction::new(9);
         let sync = SimulatedRuntime::new(grid(9), EnvKind::MpiSync, ProblemKind::SparseLinear)
             .run(&kernel, &RunConfig::synchronous(1e-9));
-        let async_run =
-            SimulatedRuntime::new(grid(9), EnvKind::Pm2, ProblemKind::SparseLinear)
-                .run(&kernel, &RunConfig::asynchronous(1e-9).with_streak(3));
+        let async_run = SimulatedRuntime::new(grid(9), EnvKind::Pm2, ProblemKind::SparseLinear)
+            .run(&kernel, &RunConfig::asynchronous(1e-9).with_streak(3));
         assert!(sync.report.converged && async_run.report.converged);
         assert!(
             async_run.report.elapsed_secs < sync.report.elapsed_secs,
@@ -714,7 +731,10 @@ mod tests {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             runtime.run(&kernel, &RunConfig::asynchronous(1e-8))
         }));
-        assert!(result.is_err(), "AIAC on mono-threaded MPI must be rejected");
+        assert!(
+            result.is_err(),
+            "AIAC on mono-threaded MPI must be rejected"
+        );
     }
 
     #[test]
@@ -735,7 +755,10 @@ mod tests {
             .run(&kernel, &RunConfig::synchronous(1e-8));
         let trace = sync.trace.expect("trace requested");
         assert!(trace.time_in(0, Activity::Compute) > SimTime::ZERO);
-        assert!(trace.time_in(0, Activity::Idle) > SimTime::ZERO, "SISC has idle time");
+        assert!(
+            trace.time_in(0, Activity::Idle) > SimTime::ZERO,
+            "SISC has idle time"
+        );
 
         let async_run = SimulatedRuntime::new(grid(2), EnvKind::Pm2, ProblemKind::SparseLinear)
             .with_trace(true)

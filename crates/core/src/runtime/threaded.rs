@@ -86,8 +86,8 @@ impl ThreadedRuntime {
         let (result_tx, result_rx) = unbounded::<WorkerResult>();
 
         crossbeam::scope(|scope| {
-            for block in 0..m {
-                let rx = receivers[block].take().expect("receiver already taken");
+            for (block, slot) in receivers.iter_mut().enumerate() {
+                let rx = slot.take().expect("receiver already taken");
                 let senders = &senders;
                 let graph = &graph;
                 let barrier = &barrier;
@@ -152,8 +152,8 @@ impl ThreadedRuntime {
         let mut detector = GlobalDetector::new(m);
 
         crossbeam::scope(|scope| {
-            for block in 0..m {
-                let rx = receivers[block].take().expect("receiver already taken");
+            for (block, slot) in receivers.iter_mut().enumerate() {
+                let rx = slot.take().expect("receiver already taken");
                 let senders = &senders;
                 let graph = &graph;
                 let stop = &stop;
@@ -435,7 +435,10 @@ mod tests {
         let kernel = RingContraction::new(6);
         let config = RunConfig::asynchronous(1e-10).with_streak(5);
         let report = ThreadedRuntime::new().run(&kernel, &config);
-        assert!(report.converged, "AIAC run should detect global convergence");
+        assert!(
+            report.converged,
+            "AIAC run should detect global convergence"
+        );
         let fp = kernel.fixed_point();
         for v in &report.solution {
             assert!((v - fp).abs() < 1e-6, "value {v} vs fixed point {fp}");

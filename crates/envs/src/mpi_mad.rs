@@ -96,9 +96,15 @@ mod tests {
     fn thread_config_matches_table4() {
         let env = MpiMadeleine::new();
         let sparse = env.thread_config(ProblemKind::SparseLinear, 12);
-        assert_eq!(sparse.describe(), "one sending thread, one receiving thread");
+        assert_eq!(
+            sparse.describe(),
+            "one sending thread, one receiving thread"
+        );
         let chem = env.thread_config(ProblemKind::NonLinearChemical, 12);
-        assert_eq!(chem.describe(), "two sending threads, two receiving threads");
+        assert_eq!(
+            chem.describe(),
+            "two sending threads, two receiving threads"
+        );
     }
 
     #[test]

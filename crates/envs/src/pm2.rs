@@ -108,7 +108,8 @@ mod tests {
             "one sending thread, receiving threads created on demand"
         );
         assert_eq!(
-            env.thread_config(ProblemKind::NonLinearChemical, 12).describe(),
+            env.thread_config(ProblemKind::NonLinearChemical, 12)
+                .describe(),
             "two sending threads, one receiving thread"
         );
     }

@@ -204,7 +204,11 @@ impl ScatteredDiagonalsSpec {
                     continue;
                 }
                 let magnitude: f64 = rng.gen_range(0.1..1.0);
-                let sign = if (i + j as usize) % 2 == 0 { 1.0 } else { -1.0 };
+                let sign = if (i + j as usize).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let v = sign * magnitude;
                 off_sum += v.abs();
                 row.push((i, j as usize, v));
@@ -342,8 +346,15 @@ mod tests {
     fn scattered_spec_produces_spread_offsets() {
         let spec = ScatteredDiagonalsSpec::paper(1000, 0);
         let offsets = spec.offsets();
-        assert!(offsets.len() >= 25, "expected ~30 distinct offsets, got {}", offsets.len());
-        assert!(offsets.iter().any(|&o| o > 500), "offsets must span the dimension");
+        assert!(
+            offsets.len() >= 25,
+            "expected ~30 distinct offsets, got {}",
+            offsets.len()
+        );
+        assert!(
+            offsets.iter().any(|&o| o > 500),
+            "offsets must span the dimension"
+        );
         assert!(offsets.iter().any(|&o| o < -500));
         assert!(!offsets.contains(&0));
     }
@@ -361,7 +372,10 @@ mod tests {
         assert!(jacobi_contraction_bound(&a) <= 0.8 + 1e-9);
         // rows in the first block reference columns owned by the last block
         let deps = a.external_dependencies(0..50);
-        assert!(deps.iter().any(|&c| c >= 150), "expected long-range coupling");
+        assert!(
+            deps.iter().any(|&c| c >= 150),
+            "expected long-range coupling"
+        );
     }
 
     #[test]

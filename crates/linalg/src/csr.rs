@@ -78,13 +78,24 @@ impl CsrMatrix {
         values: Vec<f64>,
     ) -> Self {
         assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length mismatch");
-        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end mismatch");
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx/values length mismatch"
+        );
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr end mismatch"
+        );
         for r in 0..nrows {
             assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be monotone");
             let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "column indices must be strictly increasing per row");
+                assert!(
+                    w[0] < w[1],
+                    "column indices must be strictly increasing per row"
+                );
             }
             for &c in row {
                 assert!(c < ncols, "column index out of range");
@@ -151,14 +162,14 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -241,7 +252,11 @@ impl CsrMatrix {
     /// block `i` needs (i.e. blocks owning at least one external column of
     /// block `i`'s rows).
     pub fn block_dependencies(&self, partition: &Partition) -> Vec<Vec<usize>> {
-        assert_eq!(partition.len(), self.ncols, "partition must cover the columns");
+        assert_eq!(
+            partition.len(),
+            self.ncols,
+            "partition must cover the columns"
+        );
         let mut graph = Vec::with_capacity(partition.parts());
         for (b, range) in partition.iter() {
             let mut deps = BTreeSet::new();
@@ -281,7 +296,10 @@ impl CsrMatrix {
 
 impl LinearOperator for CsrMatrix {
     fn dim(&self) -> usize {
-        assert_eq!(self.nrows, self.ncols, "LinearOperator requires a square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "LinearOperator requires a square matrix"
+        );
         self.nrows
     }
 

@@ -176,7 +176,10 @@ impl Partition {
     /// Converts a block-local index back to the global index space.
     pub fn to_global(&self, block: usize, local: usize) -> usize {
         let r = self.range(block);
-        assert!(local < r.len(), "Partition::to_global: local index out of range");
+        assert!(
+            local < r.len(),
+            "Partition::to_global: local index out of range"
+        );
         r.start + local
     }
 

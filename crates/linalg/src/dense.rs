@@ -57,9 +57,9 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.ncols..(i + 1) * self.ncols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
     }
 
@@ -184,7 +184,10 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
 
 impl LinearOperator for DenseMatrix {
     fn dim(&self) -> usize {
-        assert_eq!(self.nrows, self.ncols, "LinearOperator requires a square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "LinearOperator requires a square matrix"
+        );
         self.nrows
     }
 
@@ -213,19 +216,15 @@ impl LuFactors {
         let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
         // forward substitution (L has unit diagonal)
         for i in 1..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = acc;
+            let row = &self.lu[i * n..i * n + i];
+            let dot: f64 = row.iter().zip(&x[..i]).map(|(l, xj)| l * xj).sum();
+            x[i] -= dot;
         }
         // backward substitution
         for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = acc / self.lu[i * n + i];
+            let row = &self.lu[i * n + i + 1..(i + 1) * n];
+            let dot: f64 = row.iter().zip(&x[i + 1..]).map(|(u, xj)| u * xj).sum();
+            x[i] = (x[i] - dot) / self.lu[i * n + i];
         }
         x
     }

@@ -209,7 +209,11 @@ impl Gmres {
     }
 
     /// Convenience wrapper starting from the zero vector.
-    pub fn solve_from_zero<A: LinearOperator + ?Sized>(&self, a: &A, b: &[f64]) -> (Vec<f64>, GmresOutcome) {
+    pub fn solve_from_zero<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        b: &[f64],
+    ) -> (Vec<f64>, GmresOutcome) {
         let mut x = vec![0.0; a.dim()];
         let outcome = self.solve(a, b, &mut x);
         (x, outcome)

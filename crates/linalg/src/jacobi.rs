@@ -27,7 +27,11 @@ impl BlockJacobi {
     /// Panics if `a` is not square or the partition does not cover it.
     pub fn new(a: &CsrMatrix, partition: &Partition) -> Option<Self> {
         assert_eq!(a.nrows(), a.ncols(), "BlockJacobi: matrix must be square");
-        assert_eq!(a.nrows(), partition.len(), "BlockJacobi: partition mismatch");
+        assert_eq!(
+            a.nrows(),
+            partition.len(),
+            "BlockJacobi: partition mismatch"
+        );
         let mut factors = Vec::with_capacity(partition.parts());
         for (_, range) in partition.iter() {
             let block = a.diagonal_block(range.clone());
@@ -66,7 +70,10 @@ impl BlockJacobi {
     /// is a block-local slice. This is what each processor of the AIAC solver
     /// calls on its own residual block.
     pub fn apply_block(&self, block: usize, x_local: &[f64]) -> Vec<f64> {
-        assert!(block < self.factors.len(), "apply_block: block out of range");
+        assert!(
+            block < self.factors.len(),
+            "apply_block: block out of range"
+        );
         assert_eq!(
             x_local.len(),
             self.partition.size(block),

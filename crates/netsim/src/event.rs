@@ -63,7 +63,9 @@ impl<T> EventQueue<T> {
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event<T>> {
         let Reverse((_, slot)) = self.heap.pop()?;
-        let ev = self.slots[slot].take().expect("event slot already consumed");
+        let ev = self.slots[slot]
+            .take()
+            .expect("event slot already consumed");
         self.len -= 1;
         if self.is_empty() {
             // Reclaim slot storage between bursts.

@@ -192,7 +192,10 @@ mod tests {
         // hosts 0 and 3 are on site 0; hosts 1 and 4 on site 1
         let a1 = net.transfer(HostId(0), HostId(1), 500_000, 0, SimTime::ZERO);
         let a2 = net.transfer(HostId(3), HostId(4), 500_000, 0, SimTime::ZERO);
-        assert!(a2 > a1, "second inter-site transfer must queue on the shared pipe");
+        assert!(
+            a2 > a1,
+            "second inter-site transfer must queue on the shared pipe"
+        );
     }
 
     #[test]

@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut times = vec![
+        let mut times = [
             SimTime::from_secs(3.0),
             SimTime::from_secs(1.0),
             SimTime::from_secs(2.0),
@@ -188,8 +188,18 @@ mod tests {
         times.sort();
         assert_eq!(times[0].as_secs(), 1.0);
         assert_eq!(times[2].as_secs(), 3.0);
-        assert_eq!(SimTime::from_secs(1.0).max(SimTime::from_secs(2.0)).as_secs(), 2.0);
-        assert_eq!(SimTime::from_secs(1.0).min(SimTime::from_secs(2.0)).as_secs(), 1.0);
+        assert_eq!(
+            SimTime::from_secs(1.0)
+                .max(SimTime::from_secs(2.0))
+                .as_secs(),
+            2.0
+        );
+        assert_eq!(
+            SimTime::from_secs(1.0)
+                .min(SimTime::from_secs(2.0))
+                .as_secs(),
+            1.0
+        );
     }
 
     #[test]

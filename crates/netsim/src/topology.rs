@@ -278,7 +278,9 @@ impl GridTopologyBuilder {
         let sites = self.intra_site.len();
         for a in 0..sites {
             for b in (a + 1)..sites {
-                self.inter_site.entry((a, b)).or_insert(self.default_inter_site);
+                self.inter_site
+                    .entry((a, b))
+                    .or_insert(self.default_inter_site);
             }
         }
         GridTopology {

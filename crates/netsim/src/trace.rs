@@ -147,10 +147,7 @@ impl ExecutionTrace {
                         // Compute wins over send/receive wins over idle when
                         // intervals share a cell at this resolution.
                         let g = e.activity.glyph();
-                        if *cell == '.'
-                            || g == '#'
-                            || (*cell != '#' && (g == '>' || g == '<'))
-                        {
+                        if *cell == '.' || g == '#' || (*cell != '#' && (g == '>' || g == '<')) {
                             *cell = g;
                         }
                     }

@@ -147,7 +147,10 @@ impl ChemicalProblem {
             params.blocks >= 1 && params.blocks <= params.nz,
             "blocks must be between 1 and nz"
         );
-        assert!(params.t_end > 0.0 && params.dt > 0.0, "time parameters must be positive");
+        assert!(
+            params.t_end > 0.0 && params.dt > 0.0,
+            "time parameters must be positive"
+        );
         Self { params, geometry }
     }
 
@@ -259,7 +262,10 @@ mod tests {
         let solution = problem.solve_with(|kernel, _| SequentialRuntime::new().run(kernel, &cfg));
         assert!(solution.all_converged);
         assert_eq!(solution.step_reports.len(), 2);
-        assert!(solution.final_state.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(solution
+            .final_state
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0));
         // species 1 is destroyed at night: its final concentration is far
         // below its initial value
         let initial = problem.initial_state();
@@ -272,8 +278,7 @@ mod tests {
     fn decomposed_run_matches_the_single_block_reference() {
         let reference_problem = ChemicalProblem::new(small_params(1));
         let cfg = RunConfig::synchronous(1e-10);
-        let reference =
-            reference_problem.solve_with(|k, _| SequentialRuntime::new().run(k, &cfg));
+        let reference = reference_problem.solve_with(|k, _| SequentialRuntime::new().run(k, &cfg));
 
         let decomposed_problem = ChemicalProblem::new(small_params(3));
         let decomposed =
@@ -295,8 +300,7 @@ mod tests {
 
         let async_problem = ChemicalProblem::new(small_params(2));
         let async_cfg = RunConfig::asynchronous(1e-10).with_streak(4);
-        let parallel =
-            async_problem.solve_with(|k, _| ThreadedRuntime::new().run(k, &async_cfg));
+        let parallel = async_problem.solve_with(|k, _| ThreadedRuntime::new().run(k, &async_cfg));
 
         assert!(parallel.all_converged);
         assert!(parallel.total_data_messages > 0);

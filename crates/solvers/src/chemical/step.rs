@@ -34,7 +34,10 @@ impl GridGeometry {
     /// Creates the geometry used by the paper's problem: a square domain
     /// discretised on `nx × nz` points.
     pub fn new(nx: usize, nz: usize) -> Self {
-        assert!(nx >= 3 && nz >= 3, "the grid needs at least 3 points per axis");
+        assert!(
+            nx >= 3 && nz >= 3,
+            "the grid needs at least 3 points per axis"
+        );
         Self {
             nx,
             nz,
@@ -155,7 +158,10 @@ impl ChemicalStepKernel {
         cost: StepCostModel,
     ) -> Self {
         assert_eq!(y_prev.len(), geometry.num_unknowns(), "state size mismatch");
-        assert!(blocks >= 1 && blocks <= geometry.nz, "blocks must be in 1..=nz");
+        assert!(
+            blocks >= 1 && blocks <= geometry.nz,
+            "blocks must be in 1..=nz"
+        );
         assert!(dt > 0.0, "the time step must be positive");
         Self {
             geometry,
@@ -223,20 +229,28 @@ impl ChemicalStepKernel {
         let dx = g.dx();
         let dz = g.dz();
         let z = g.z(iz);
-        let kv_up = if iz + 1 < g.nz { model::kv(z + dz / 2.0) / (dz * dz) } else { 0.0 };
-        let kv_down = if iz > 0 { model::kv(z - dz / 2.0) / (dz * dz) } else { 0.0 };
+        let kv_up = if iz + 1 < g.nz {
+            model::kv(z + dz / 2.0) / (dz * dz)
+        } else {
+            0.0
+        };
+        let kv_down = if iz > 0 {
+            model::kv(z - dz / 2.0) / (dz * dz)
+        } else {
+            0.0
+        };
         let c1 = self.conc(block, local, others, 0, ix, iz);
         let c2 = self.conc(block, local, others, 1, ix, iz);
         let reaction = model::reaction(c1, c2, self.t_next);
         let mut out = [0.0f64; 2];
-        for s in 0..2 {
+        for (s, out_s) in out.iter_mut().enumerate() {
             let c = if s == 0 { c1 } else { c2 };
             let ixl = ix.saturating_sub(1);
             let ixr = (ix + 1).min(g.nx - 1);
             let cl = self.conc(block, local, others, s, ixl, iz);
             let cr = self.conc(block, local, others, s, ixr, iz);
-            let horizontal = model::KH * (cr - 2.0 * c + cl) / (dx * dx)
-                + model::V * (cr - cl) / (2.0 * dx);
+            let horizontal =
+                model::KH * (cr - 2.0 * c + cl) / (dx * dx) + model::V * (cr - cl) / (2.0 * dx);
             let cu = if iz + 1 < g.nz {
                 self.conc(block, local, others, s, ix, iz + 1)
             } else {
@@ -249,7 +263,7 @@ impl ChemicalStepKernel {
             };
             let vertical = kv_up * (cu - c) - kv_down * (c - cd);
             let r = if s == 0 { reaction.r1 } else { reaction.r2 };
-            out[s] = horizontal + vertical + r;
+            *out_s = horizontal + vertical + r;
         }
         (out[0], out[1])
     }
@@ -289,8 +303,16 @@ impl ChemicalStepKernel {
 
         for (local_row, iz) in rows.clone().enumerate() {
             let z = g.z(iz);
-            let kv_up = if iz + 1 < g.nz { model::kv(z + dz / 2.0) / (dz * dz) } else { 0.0 };
-            let kv_down = if iz > 0 { model::kv(z - dz / 2.0) / (dz * dz) } else { 0.0 };
+            let kv_up = if iz + 1 < g.nz {
+                model::kv(z + dz / 2.0) / (dz * dz)
+            } else {
+                0.0
+            };
+            let kv_down = if iz > 0 {
+                model::kv(z - dz / 2.0) / (dz * dz)
+            } else {
+                0.0
+            };
             for ix in 0..nx {
                 let c1 = self.conc(block, local, others, 0, ix, iz);
                 let c2 = self.conc(block, local, others, 1, ix, iz);
@@ -501,7 +523,11 @@ mod tests {
         // the sequential runtime drives it to a fixed point of G(y) = 0.
         let k = kernel(1);
         let report = SequentialRuntime::new().run(&k, &RunConfig::synchronous(1e-10));
-        assert!(report.converged, "Newton did not converge: {}", report.final_residual);
+        assert!(
+            report.converged,
+            "Newton did not converge: {}",
+            report.final_residual
+        );
         assert!(report.iterations[0] < 50, "Newton should converge quickly");
         // The implicit Euler solution must satisfy G(y) ≈ 0.
         let view = DependencyView::from_initial(&k);
@@ -509,7 +535,14 @@ mod tests {
         let scaled_norm = g
             .iter()
             .enumerate()
-            .map(|(p, v)| v.abs() / if p % 2 == 0 { model::C1_SCALE } else { model::C2_SCALE })
+            .map(|(p, v)| {
+                v.abs()
+                    / if p % 2 == 0 {
+                        model::C1_SCALE
+                    } else {
+                        model::C2_SCALE
+                    }
+            })
             .fold(0.0f64, f64::max);
         assert!(scaled_norm < 1e-6, "nonlinear residual {scaled_norm}");
     }

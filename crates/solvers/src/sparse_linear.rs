@@ -351,7 +351,11 @@ mod tests {
         let p = small(MatrixShape::ScatteredDiagonals);
         let report = SequentialRuntime::new().run(&p, &RunConfig::synchronous(1e-12));
         assert!(report.converged);
-        assert!(p.error_of(&report.solution) < 1e-8, "error {}", p.error_of(&report.solution));
+        assert!(
+            p.error_of(&report.solution) < 1e-8,
+            "error {}",
+            p.error_of(&report.solution)
+        );
         assert!(p.linear_residual(&report.solution) < 1e-6);
     }
 
@@ -384,7 +388,11 @@ mod tests {
         let config = RunConfig::asynchronous(1e-11).with_streak(5);
         let report = ThreadedRuntime::new().run(&p, &config);
         assert!(report.converged);
-        assert!(p.error_of(&report.solution) < 1e-6, "error {}", p.error_of(&report.solution));
+        assert!(
+            p.error_of(&report.solution) < 1e-6,
+            "error {}",
+            p.error_of(&report.solution)
+        );
     }
 
     #[test]
@@ -410,7 +418,10 @@ mod tests {
         let bytes_a: u64 = (1..6).map(|d| a.message_bytes(0, d)).sum();
         let bytes_b: u64 = (1..6).map(|d| b.message_bytes(0, d)).sum();
         let ratio_bytes = bytes_a as f64 / bytes_b as f64;
-        assert!((0.4..2.5).contains(&ratio_bytes), "byte ratio {ratio_bytes}");
+        assert!(
+            (0.4..2.5).contains(&ratio_bytes),
+            "byte ratio {ratio_bytes}"
+        );
     }
 
     #[test]

@@ -15,9 +15,9 @@ use aiac_core::runtime::sequential::SequentialRuntime;
 /// `max_i |a_i − b_i| / max(|b_i|, floor)`.
 pub fn max_relative_difference(a: &[f64], b: &[f64], floor: f64) -> f64 {
     assert_eq!(a.len(), b.len(), "vectors must have the same length");
-    a.iter()
-        .zip(b)
-        .fold(0.0f64, |acc, (x, y)| acc.max((x - y).abs() / y.abs().max(floor)))
+    a.iter().zip(b).fold(0.0f64, |acc, (x, y)| {
+        acc.max((x - y).abs() / y.abs().max(floor))
+    })
 }
 
 /// True when two solutions agree within the relative tolerance.

@@ -58,7 +58,10 @@ fn main() {
 
     let worst = verify::max_relative_difference(&solution.final_state, &reference.final_state, 1.0);
     println!("max relative difference vs sequential reference: {worst:.2e}");
-    assert!(worst < 1e-4, "asynchronous result drifted from the reference");
+    assert!(
+        worst < 1e-4,
+        "asynchronous result drifted from the reference"
+    );
 
     // A few sample concentrations at the end of the interval.
     let g = problem.geometry();

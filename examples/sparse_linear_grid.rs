@@ -40,7 +40,9 @@ fn main() {
         let runtime = SimulatedRuntime::new(topology.clone(), env, ProblemKind::SparseLinear);
         let outcome = runtime.run(&problem, &config);
         let report = outcome.report;
-        let ratio = sync_time.map(|t: f64| t / report.elapsed_secs).unwrap_or(1.0);
+        let ratio = sync_time
+            .map(|t: f64| t / report.elapsed_secs)
+            .unwrap_or(1.0);
         if env == EnvKind::MpiSync {
             sync_time = Some(report.elapsed_secs);
         }

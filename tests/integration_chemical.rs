@@ -87,11 +87,16 @@ fn simulated_async_chemical_beats_sync_on_the_distant_grid() {
     let problem = ChemicalProblem::new(p.clone());
     let grid = GridTopology::ethernet_3_sites(12);
 
-    let sync_rt = SimulatedRuntime::new(grid.clone(), EnvKind::MpiSync, ProblemKind::NonLinearChemical);
+    let sync_rt = SimulatedRuntime::new(
+        grid.clone(),
+        EnvKind::MpiSync,
+        ProblemKind::NonLinearChemical,
+    );
     let sync_cfg = RunConfig::synchronous(p.epsilon);
     let sync = problem.solve_with(|k, _| sync_rt.run(k, &sync_cfg).report);
 
-    let async_rt = SimulatedRuntime::new(grid, EnvKind::MpiMadeleine, ProblemKind::NonLinearChemical);
+    let async_rt =
+        SimulatedRuntime::new(grid, EnvKind::MpiMadeleine, ProblemKind::NonLinearChemical);
     let async_cfg = RunConfig::asynchronous(p.epsilon).with_streak(3);
     let asynchronous = problem.solve_with(|k, _| async_rt.run(k, &async_cfg).report);
 

@@ -35,8 +35,8 @@ fn every_backend_agrees_with_the_exact_solution() {
 
     let grid = GridTopology::ethernet_3_sites(6);
     for env in EnvKind::ASYNC {
-        let sim = SimulatedRuntime::new(grid.clone(), env, ProblemKind::SparseLinear)
-            .run(&p, &async_cfg);
+        let sim =
+            SimulatedRuntime::new(grid.clone(), env, ProblemKind::SparseLinear).run(&p, &async_cfg);
         assert!(sim.report.converged, "{env} failed to converge");
         assert!(
             p.error_of(&sim.report.solution) < 1e-5,
@@ -55,12 +55,17 @@ fn simulated_async_beats_simulated_sync_on_the_papers_platform() {
     // advantage is asserted; the other presets are exercised by the chemical
     // integration tests.
     let p = problem(6);
-    for grid in [GridTopology::ethernet_3_sites(6)] {
+    {
+        let grid = GridTopology::ethernet_3_sites(6);
         let sync = SimulatedRuntime::new(grid.clone(), EnvKind::MpiSync, ProblemKind::SparseLinear)
             .run(&p, &RunConfig::synchronous(1e-8));
         let pm2 = SimulatedRuntime::new(grid.clone(), EnvKind::Pm2, ProblemKind::SparseLinear)
             .run(&p, &RunConfig::asynchronous(1e-8).with_streak(3));
-        assert!(sync.report.converged && pm2.report.converged, "{}", grid.name());
+        assert!(
+            sync.report.converged && pm2.report.converged,
+            "{}",
+            grid.name()
+        );
         assert!(
             pm2.report.elapsed_secs < sync.report.elapsed_secs,
             "{}: async {:.1} s should beat sync {:.1} s",

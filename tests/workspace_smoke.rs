@@ -1,0 +1,81 @@
+//! Workspace smoke test: the `aiac::prelude` facade re-exports compile and
+//! the three runtimes (sequential, threaded, simulated) agree on a tiny
+//! banded system. This is the first test to look at when a workspace-level
+//! change (manifests, vendored shims, re-exports) breaks something.
+
+use aiac::core::runtime::sequential::SequentialRuntime;
+use aiac::core::runtime::simulated::SimulatedRuntime;
+use aiac::core::runtime::threaded::ThreadedRuntime;
+use aiac::envs::threads::ProblemKind;
+use aiac::prelude::*;
+use aiac::solvers::sparse_linear::{MatrixShape, SparseLinearParams};
+use approx::assert_abs_diff_eq;
+
+fn tiny_banded_problem() -> SparseLinearProblem {
+    SparseLinearProblem::new(SparseLinearParams {
+        n: 120,
+        sub_diagonals: 5,
+        shape: MatrixShape::ContiguousBand,
+        contraction: 0.7,
+        gamma: 1.0,
+        blocks: 3,
+        seed: 7,
+        reference_flops: 1.5e8,
+        cost_scale: 1_000.0,
+    })
+}
+
+/// Every name exported by `aiac::prelude` resolves and is usable.
+#[test]
+fn prelude_reexports_are_live() {
+    let config: RunConfig = RunConfig::synchronous(1e-8);
+    assert!(matches!(config.mode, ExecutionMode::Synchronous));
+
+    let problem = tiny_banded_problem();
+    let kernel: &dyn IterativeKernel = &problem;
+    assert_eq!(kernel.num_blocks(), 3);
+
+    let spec = BandedSpec::paper(64, 1);
+    let matrix: CsrMatrix = spec.generate();
+    assert_eq!(matrix.nrows(), 64);
+
+    let partition = Partition::balanced(64, 4);
+    assert_eq!(partition.parts(), 4);
+
+    let grid: GridTopology = GridTopology::homogeneous_cluster(3);
+    assert_eq!(grid.num_hosts(), 3);
+
+    let env: EnvKind = EnvKind::Pm2;
+    assert!(env.build().supports_async());
+}
+
+/// Sequential, threaded and simulated runtimes land on the same solution.
+#[test]
+fn all_three_runtimes_agree_on_a_tiny_banded_system() {
+    let problem = tiny_banded_problem();
+
+    let reference: RunReport =
+        SequentialRuntime::new().run(&problem, &RunConfig::synchronous(1e-10));
+    assert!(reference.converged, "sequential reference must converge");
+
+    let threaded = ThreadedRuntime::new().run(&problem, &RunConfig::asynchronous(1e-10));
+    assert!(threaded.converged, "threaded AIAC run must converge");
+
+    let simulated = SimulatedRuntime::new(
+        GridTopology::homogeneous_cluster(3),
+        EnvKind::Pm2,
+        ProblemKind::SparseLinear,
+    )
+    .run(&problem, &RunConfig::asynchronous(1e-10));
+    assert!(
+        simulated.report.converged,
+        "simulated AIAC run must converge"
+    );
+
+    for (t, r) in threaded.solution.iter().zip(&reference.solution) {
+        assert_abs_diff_eq!(*t, *r, epsilon = 1e-6);
+    }
+    for (s, r) in simulated.report.solution.iter().zip(&reference.solution) {
+        assert_abs_diff_eq!(*s, *r, epsilon = 1e-6);
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline shim for `approx`: the two assertion macros the tests use,
+//! implemented directly over `f64` comparisons.
+
+/// Asserts `|a - b| <= epsilon` (default `1e-12`).
+#[macro_export]
+macro_rules! assert_abs_diff_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        $crate::assert_abs_diff_eq!($a, $b, epsilon = 1e-12)
+    };
+    ($a:expr, $b:expr, epsilon = $eps:expr $(,)?) => {{
+        let (left, right, eps): (f64, f64, f64) = ($a, $b, $eps);
+        assert!(
+            (left - right).abs() <= eps,
+            "assert_abs_diff_eq failed: {} vs {} (eps {})",
+            left,
+            right,
+            eps
+        );
+    }};
+}
+
+/// Asserts `a` and `b` agree to within `epsilon` absolutely or
+/// `max_relative` relatively (defaults `1e-12` / `1e-9`).
+#[macro_export]
+macro_rules! assert_relative_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        $crate::assert_relative_eq!($a, $b, epsilon = 1e-12, max_relative = 1e-9)
+    };
+    ($a:expr, $b:expr, epsilon = $eps:expr $(,)?) => {
+        $crate::assert_relative_eq!($a, $b, epsilon = $eps, max_relative = 1e-9)
+    };
+    ($a:expr, $b:expr, max_relative = $rel:expr $(,)?) => {
+        $crate::assert_relative_eq!($a, $b, epsilon = 1e-12, max_relative = $rel)
+    };
+    ($a:expr, $b:expr, epsilon = $eps:expr, max_relative = $rel:expr $(,)?) => {{
+        let (left, right): (f64, f64) = ($a, $b);
+        let diff = (left - right).abs();
+        let largest = left.abs().max(right.abs());
+        assert!(
+            diff <= $eps || diff <= largest * $rel,
+            "assert_relative_eq failed: {} vs {} (diff {}, eps {}, max_relative {})",
+            left,
+            right,
+            diff,
+            $eps,
+            $rel
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn absolute_and_relative_forms_accept_close_values() {
+        assert_abs_diff_eq!(1.0, 1.0 + 1e-13);
+        assert_relative_eq!(1e9, 1e9 + 1.0, max_relative = 1e-8);
+        assert_relative_eq!(0.0, 1e-13);
+    }
+
+    #[test]
+    #[should_panic(expected = "assert_relative_eq failed")]
+    fn distant_values_panic() {
+        assert_relative_eq!(1.0, 2.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `sample_size`, `Bencher::iter`) with a simple wall-clock harness: per
+//! benchmark it warms up, auto-calibrates an iteration count so one sample
+//! takes ~1 ms, times `sample_size` samples and prints min/mean/max ns per
+//! iteration. No statistics, plots or history — just numbers on stdout.
+//!
+//! Running with `--test` (what `cargo test` passes to `harness = false`
+//! bench targets) or setting `CRITERION_SHIM_QUICK=1` switches to a single
+//! iteration per benchmark so CI smoke runs stay fast.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to every `criterion_group!` target function.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SHIM_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let quick = self.quick;
+        run_one(&id.into().label, 10, quick, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.criterion.quick, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value (criterion parity; the
+    /// input is simply passed through to the closure).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.criterion.quick, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (exists for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, optionally parameterised.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`, like the real crate.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Iterations to execute per sample (calibrated by the harness).
+    iters: u64,
+    /// Wall-clock time of the last `iter` call, used by the harness.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, quick: bool, f: &mut F) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if quick {
+        f(&mut bencher);
+        println!("  {label}: ok (quick mode, 1 iteration)");
+        return;
+    }
+
+    // Calibrate: grow the per-sample iteration count until one sample costs
+    // at least ~1 ms, so short routines are not dominated by timer noise.
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(1) || bencher.iters >= 1 << 20 {
+            break;
+        }
+        bencher.iters *= 4;
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+    }
+    let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter_ns.iter().cloned().fold(0.0, f64::max);
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "  {label}: [{} {} {}] ({} samples x {} iters)",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max),
+        samples,
+        bencher.iters,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    let mut out = String::new();
+    if ns < 1_000.0 {
+        let _ = write!(out, "{ns:.1} ns");
+    } else if ns < 1_000_000.0 {
+        let _ = write!(out, "{:.2} us", ns / 1_000.0);
+    } else if ns < 1_000_000_000.0 {
+        let _ = write!(out, "{:.2} ms", ns / 1_000_000.0);
+    } else {
+        let _ = write!(out, "{:.3} s", ns / 1_000_000_000.0);
+    }
+    out
+}
+
+/// Declares a group of benchmark functions, mirroring the criterion macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring the criterion macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,77 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides the two APIs the runtime uses — [`channel::unbounded`] MPMC
+//! channels and [`scope`]d threads — implemented on top of `std` primitives
+//! (`Mutex` + `Condvar` queues, `std::thread::scope`). Semantics match the
+//! real crate where the workspace depends on them: cloneable senders and
+//! receivers, disconnect detection on both ends, and `scope` returning `Err`
+//! instead of propagating a child-thread panic.
+
+pub mod channel;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread handle passed to [`scope`] closures; spawned closures also
+/// receive one so they can spawn further siblings.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread that is joined before [`scope`] returns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a [`Scope`], joining every spawned thread before returning.
+/// Returns `Err` with the panic payload if any thread (or `f`) panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn scoped_threads_communicate_over_channels() {
+        let (tx, rx) = unbounded::<usize>();
+        let total = super::scope(|scope| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            rx.iter().sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn scope_reports_child_panics_as_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("child panic"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

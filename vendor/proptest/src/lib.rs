@@ -1,0 +1,268 @@
+//! Offline shim for `proptest`.
+//!
+//! Re-implements the slice of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), numeric range strategies, tuple
+//! strategies, [`collection::vec`] and [`bool::ANY`], plus the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case panics with its seed and inputs via
+//!   the standard assert messages, but is not minimised;
+//! * **deterministic sampling** — each test function derives its RNG seed
+//!   from its own name (FNV-1a hash), so runs are reproducible and CI is
+//!   stable;
+//! * assertions panic immediately instead of returning `TestCaseError`.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic RNG used to drive strategies inside [`proptest!`] bodies.
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Seeds the generator from the test function's name so every test gets
+    /// its own reproducible stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(hash),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// How [`proptest!`] runs each property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 32 keeps the heavier simulation-backed
+        // properties fast while still exercising a spread of inputs.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A source of random values of one type (no shrinking in the shim).
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty)*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize f32 f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($t:ident $n:tt),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+
+    /// Strategy yielding a constant value (`Just` in the real crate).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a random length drawn from `len`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Samples vectors whose elements come from `element` and whose length
+    /// lies in `len` (half-open, like the real crate's size ranges).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngCore;
+
+    /// Strategy for uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$attr:meta])*
+         fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Shim `prop_assert!`: panics on failure (no `TestCaseError` channel).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {
+        assert!($($args)*)
+    };
+}
+
+/// Shim `prop_assert_eq!`: panics on failure (no `TestCaseError` channel).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {
+        assert_eq!($($args)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sampled values respect their range bounds.
+        #[test]
+        fn ranges_and_vecs_stay_in_bounds(
+            n in 1usize..10,
+            x in -2.0f64..2.0,
+            pairs in crate::collection::vec((0usize..4, crate::bool::ANY), 1..12),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(!pairs.is_empty() && pairs.len() < 12);
+            for (block, _flag) in pairs {
+                prop_assert!(block < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        use rand::RngCore;
+        let a = crate::TestRng::deterministic("alpha").next_u64();
+        let b = crate::TestRng::deterministic("alpha").next_u64();
+        let c = crate::TestRng::deterministic("beta").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline shim for `serde_derive`.
+//!
+//! This workspace is built without network access, so the real `serde`
+//! derive macros (and their `syn`/`quote` dependency tree) are unavailable.
+//! This crate re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the subset of type shapes the workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (including newtypes),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants,
+//! * no generic parameters and no `#[serde(...)]` attributes.
+//!
+//! The generated code targets the vendored `serde` facade crate, whose
+//! `Serialize` trait produces a `serde::Value` tree (rendered to JSON by the
+//! vendored `serde_json`). `Deserialize` is a marker trait in the facade, so
+//! its derive emits an empty impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the type a derive is applied to.
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — number of fields.
+    TupleStruct(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = serialize_body(&name, &shape);
+    let imp = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{\n{body}\t}}\n}}\n"
+    );
+    imp.parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse(input);
+    format!("impl ::serde::Deserialize for {name} {{}}\n")
+        .parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+fn serialize_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::UnitStruct => "\t\t::serde::Value::Null\n".to_string(),
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("\t\t::serde::Value::Map(::std::vec![\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "\t\t\t(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            s.push_str("\t\t])\n");
+            s
+        }
+        Shape::TupleStruct(1) => "\t\t::serde::Serialize::to_value(&self.0)\n".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut s = String::from("\t\t::serde::Value::Seq(::std::vec![\n");
+            for i in 0..*n {
+                s.push_str(&format!("\t\t\t::serde::Serialize::to_value(&self.{i}),\n"));
+            }
+            s.push_str("\t\t])\n");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("\t\tmatch self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "\t\t\t{name}::{vn} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "\t\t\t{name}::{vn}({pat}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {inner})]),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pat = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "\t\t\t{name}::{vn} {{ {pat} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(::std::vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str("\t\t}\n");
+            s
+        }
+    }
+}
+
+/// Parses the derive input down to the type name and its field layout.
+fn parse(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(other) => panic!("serde_derive shim: unexpected token after struct name: {other}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive shim: expected enum body for `{name}`"),
+        },
+        other => panic!("serde_derive shim: unions are not supported (`{other}`)"),
+    };
+    (name, shape)
+}
+
+/// Advances past leading `#[...]` attributes and a `pub` / `pub(...)` marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` (named struct or struct-variant bodies).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after `{fname}`, found {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(fname);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Skips one type expression, stopping at a top-level `,` (tracks `<` depth).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts comma-separated fields of a tuple struct / tuple variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Parses `Unit, Tuple(T), Struct { f: T }, ...` enum bodies.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional explicit discriminant (`= expr`) up to the comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}

@@ -1,0 +1,167 @@
+//! Offline shim for `serde_json`.
+//!
+//! Renders the vendored `serde::Value` tree as JSON text. Only the encoding
+//! half is implemented (`to_string` / `to_string_pretty`) because nothing in
+//! the workspace parses JSON back in; extend here if that changes.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the shim encoder is infallible in practice, but the
+/// signature mirrors the real crate so call sites stay source-compatible).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Encodes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Encodes `value` as human-readable JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => write_items(
+            out,
+            items.len(),
+            indent,
+            depth,
+            |out, i, ind, d| {
+                write_value(out, &items[i], ind, d);
+            },
+            '[',
+            ']',
+        ),
+        Value::Map(pairs) => write_items(
+            out,
+            pairs.len(),
+            indent,
+            depth,
+            |out, i, ind, d| {
+                write_escaped(out, &pairs[i].0);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &pairs[i].1, ind, d);
+            },
+            '{',
+            '}',
+        ),
+    }
+}
+
+fn write_items(
+    out: &mut String,
+    len: usize,
+    indent: Option<&str>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, usize, Option<&str>, usize),
+    open: char,
+    close: char,
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(pad);
+            }
+        }
+        write_item(out, i, indent, depth + 1);
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+    out.push(close);
+}
+
+/// JSON has no NaN/infinity; like the real crate's lossy modes we fall back
+/// to `null` rather than erroring, since bench outputs may contain them.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_encoding_of_scalars_and_containers() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&vec![1u64, 2, 3]).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn pretty_encoding_indents_nested_structures() {
+        let v = vec![vec![1u64], vec![]];
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "[\n  [\n    1\n  ],\n  []\n]"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}
