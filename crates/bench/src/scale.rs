@@ -8,6 +8,7 @@
 //! binary so they stay consistent, and switches to the paper's original
 //! values when the environment variable `AIAC_FULL` is set to `1`.
 
+use aiac_core::kernel::{BlockUpdate, DependencyView, IterativeKernel};
 use serde::{Deserialize, Serialize};
 
 /// The problem sizes used by the experiment binaries.
@@ -101,6 +102,78 @@ impl Default for ExperimentScale {
     }
 }
 
+/// A lightweight ring-coupled contraction used by the worker-pool scale
+/// experiment (`scale_pool`): `x_i ← a·x_{i−1} + b·x_i + c·x_{i+1} + d` with
+/// `|a| + |b| + |c| < 1`, one scalar unknown per block.
+///
+/// Unlike the paper's benchmark problems this kernel costs almost nothing per
+/// iteration, which is the point: at 1024+ blocks the experiment measures the
+/// *executor* — thread-pool scheduling and mailbox traffic — rather than the
+/// numerics, and the known fixed point `d / (1 − a − b − c)` makes the result
+/// checkable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleRing {
+    /// Number of blocks (= processors being emulated).
+    pub blocks: usize,
+}
+
+impl ScaleRing {
+    const A: f64 = 0.2;
+    const B: f64 = 0.3;
+    const C: f64 = 0.2;
+    const D: f64 = 1.0;
+
+    /// Creates a ring of `blocks` scalar blocks.
+    pub fn new(blocks: usize) -> Self {
+        assert!(blocks > 0, "the ring needs at least one block");
+        Self { blocks }
+    }
+
+    /// The exact fixed point every component converges to.
+    pub fn fixed_point(&self) -> f64 {
+        Self::D / (1.0 - Self::A - Self::B - Self::C)
+    }
+}
+
+impl IterativeKernel for ScaleRing {
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn block_len(&self, _block: usize) -> usize {
+        1
+    }
+
+    fn initial_block(&self, _block: usize) -> Vec<f64> {
+        vec![0.0]
+    }
+
+    fn dependencies(&self, block: usize) -> Vec<usize> {
+        if self.blocks == 1 {
+            return Vec::new();
+        }
+        let left = (block + self.blocks - 1) % self.blocks;
+        let right = (block + 1) % self.blocks;
+        if left == right {
+            vec![left]
+        } else {
+            vec![left, right]
+        }
+    }
+
+    fn update_block(&self, block: usize, local: &[f64], others: &DependencyView) -> BlockUpdate {
+        let left = (block + self.blocks - 1) % self.blocks;
+        let right = (block + 1) % self.blocks;
+        let xl = others.get(left).map_or(0.0, |v| v[0]);
+        let xr = others.get(right).map_or(0.0, |v| v[0]);
+        let new = Self::A * xl + Self::B * local[0] + Self::C * xr + Self::D;
+        BlockUpdate {
+            residual: (new - local[0]).abs(),
+            values: vec![new],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +203,28 @@ mod tests {
     fn describe_mentions_the_scale() {
         assert!(ExperimentScale::scaled().describe().contains("scaled"));
         assert!(ExperimentScale::full().describe().contains("paper"));
+    }
+
+    #[test]
+    fn scale_ring_is_a_ring_with_a_known_fixed_point() {
+        let ring = ScaleRing::new(5);
+        assert_eq!(ring.dependencies(0), vec![4, 1]);
+        assert_eq!(ring.total_len(), 5);
+        assert!((ring.fixed_point() - 1.0 / 0.3).abs() < 1e-12);
+        // two blocks collapse to a single shared neighbour, one block to none
+        assert_eq!(ScaleRing::new(2).dependencies(0), vec![1]);
+        assert!(ScaleRing::new(1).dependencies(0).is_empty());
+    }
+
+    #[test]
+    fn scale_ring_converges_sequentially() {
+        use aiac_core::config::RunConfig;
+        use aiac_core::runtime::sequential::SequentialRuntime;
+        let ring = ScaleRing::new(16);
+        let report = SequentialRuntime::new().run(&ring, &RunConfig::synchronous(1e-10));
+        assert!(report.converged);
+        for v in &report.solution {
+            assert!((v - ring.fixed_point()).abs() < 1e-8);
+        }
     }
 }

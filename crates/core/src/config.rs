@@ -6,7 +6,14 @@
 //! under-threshold iterations required before a processor believes its local
 //! convergence (Section 4.3: "we count a specified number of iterations under
 //! local convergence before assuming it has actually been reached"), and the
-//! iteration limit guarding against non-convergent runs.
+//! iteration limit guarding against non-convergent runs. The threaded
+//! back-end additionally honours [`RunConfig::num_workers`], the size of the
+//! worker pool blocks are multiplexed over.
+//!
+//! Validation comes in two flavours: [`RunConfig::try_validate`] returns a
+//! [`ConfigError`] (what CLI front-ends want so a malformed configuration is
+//! reported, not aborted on), and [`RunConfig::validate`] panics with the
+//! same message (what the runtimes use on their internal invariants).
 
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +45,34 @@ impl std::fmt::Display for ExecutionMode {
     }
 }
 
+/// Why a [`RunConfig`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// ε is not a positive finite number.
+    NonPositiveEpsilon,
+    /// The local-convergence streak is zero.
+    ZeroStreak,
+    /// The iteration limit is zero.
+    ZeroMaxIterations,
+    /// An explicit worker-pool size of zero was requested.
+    ZeroWorkers,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ConfigError::NonPositiveEpsilon => "epsilon must be positive and finite",
+            ConfigError::ZeroStreak => "convergence_streak must be > 0",
+            ConfigError::ZeroMaxIterations => "max_iterations must be > 0",
+            ConfigError::ZeroWorkers => {
+                "num_workers must be > 0 (leave it unset for the automatic default)"
+            }
+        })
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration of one solver run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
@@ -56,6 +91,10 @@ pub struct RunConfig {
     /// Seed forwarded to any randomised component (kept in the config so a
     /// whole run is reproducible from this single value).
     pub seed: u64,
+    /// Size of the threaded back-end's worker pool. `None` (the default)
+    /// resolves to [`std::thread::available_parallelism`]; the pool is never
+    /// larger than the number of blocks. The other back-ends ignore it.
+    pub num_workers: Option<usize>,
 }
 
 impl RunConfig {
@@ -67,6 +106,7 @@ impl RunConfig {
             convergence_streak: 3,
             max_iterations: 100_000,
             seed: 0,
+            num_workers: None,
         }
     }
 
@@ -78,6 +118,7 @@ impl RunConfig {
             convergence_streak: 1,
             max_iterations: 100_000,
             seed: 0,
+            num_workers: None,
         }
     }
 
@@ -99,21 +140,54 @@ impl RunConfig {
         self
     }
 
+    /// Sets an explicit worker-pool size for the threaded back-end
+    /// (builder style).
+    pub fn with_num_workers(mut self, workers: usize) -> Self {
+        self.num_workers = Some(workers);
+        self
+    }
+
+    /// The worker-pool size the threaded back-end actually uses for a problem
+    /// of `num_blocks` blocks: the configured size (or the machine's
+    /// available parallelism when unset), clamped to the block count and to a
+    /// minimum of one.
+    pub fn effective_num_workers(&self, num_blocks: usize) -> usize {
+        let requested = self.num_workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+        requested.min(num_blocks).max(1)
+    }
+
+    /// Checks the configuration is usable, reporting the first problem found
+    /// instead of panicking (the entry point CLI front-ends should use).
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(ConfigError::NonPositiveEpsilon);
+        }
+        if self.convergence_streak == 0 {
+            return Err(ConfigError::ZeroStreak);
+        }
+        if self.max_iterations == 0 {
+            return Err(ConfigError::ZeroMaxIterations);
+        }
+        if self.num_workers == Some(0) {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        Ok(())
+    }
+
     /// Checks the configuration is usable.
     ///
     /// # Panics
-    /// Panics if ε is not a positive finite number, the streak is zero or the
-    /// iteration limit is zero.
+    /// Panics if ε is not a positive finite number, the streak is zero, the
+    /// iteration limit is zero or an explicit worker count of zero was set
+    /// (see [`RunConfig::try_validate`] for the non-panicking variant).
     pub fn validate(&self) {
-        assert!(
-            self.epsilon.is_finite() && self.epsilon > 0.0,
-            "epsilon must be positive and finite"
-        );
-        assert!(
-            self.convergence_streak > 0,
-            "convergence_streak must be > 0"
-        );
-        assert!(self.max_iterations > 0, "max_iterations must be > 0");
+        if let Err(err) = self.try_validate() {
+            panic!("{err}");
+        }
     }
 }
 
@@ -176,5 +250,59 @@ mod tests {
     fn mode_labels_are_stable() {
         assert_eq!(ExecutionMode::Synchronous.label(), "sync");
         assert_eq!(format!("{}", ExecutionMode::Asynchronous), "async");
+    }
+
+    #[test]
+    fn try_validate_reports_instead_of_panicking() {
+        assert_eq!(
+            RunConfig::asynchronous(0.0).try_validate(),
+            Err(ConfigError::NonPositiveEpsilon)
+        );
+        assert_eq!(
+            RunConfig::asynchronous(f64::NAN).try_validate(),
+            Err(ConfigError::NonPositiveEpsilon)
+        );
+        assert_eq!(
+            RunConfig::asynchronous(1e-6).with_streak(0).try_validate(),
+            Err(ConfigError::ZeroStreak)
+        );
+        assert_eq!(
+            RunConfig::asynchronous(1e-6)
+                .with_max_iterations(0)
+                .try_validate(),
+            Err(ConfigError::ZeroMaxIterations)
+        );
+        assert!(RunConfig::asynchronous(1e-6).try_validate().is_ok());
+    }
+
+    #[test]
+    fn zero_workers_is_rejected_but_unset_is_auto() {
+        let explicit = RunConfig::asynchronous(1e-6).with_num_workers(0);
+        assert_eq!(explicit.try_validate(), Err(ConfigError::ZeroWorkers));
+        let auto = RunConfig::asynchronous(1e-6);
+        assert_eq!(auto.num_workers, None);
+        assert!(auto.try_validate().is_ok());
+    }
+
+    #[test]
+    fn effective_workers_clamp_to_the_block_count() {
+        let c = RunConfig::asynchronous(1e-6).with_num_workers(8);
+        assert_eq!(c.effective_num_workers(3), 3);
+        assert_eq!(c.effective_num_workers(100), 8);
+        // the automatic default is at least one worker, never more than the
+        // number of blocks
+        let auto = RunConfig::asynchronous(1e-6);
+        assert_eq!(auto.effective_num_workers(1), 1);
+        assert!(auto.effective_num_workers(1024) >= 1);
+        assert!(auto.effective_num_workers(1024) <= 1024);
+    }
+
+    #[test]
+    fn config_error_messages_name_the_field() {
+        assert_eq!(
+            ConfigError::NonPositiveEpsilon.to_string(),
+            "epsilon must be positive and finite"
+        );
+        assert!(ConfigError::ZeroWorkers.to_string().contains("num_workers"));
     }
 }

@@ -17,9 +17,10 @@
 //!   paper describes in Section 4.3;
 //! * [`convergence`] implements the per-block residual tracking and the
 //!   centralized global convergence detection / halting procedure;
-//! * [`runtime::threaded`] executes the kernel with real OS threads (one
-//!   worker per block, crossbeam channels for the asynchronous exchanges) —
-//!   this is what a downstream user runs on a multicore machine;
+//! * [`runtime::threaded`] executes the kernel with real OS threads — a
+//!   fixed-size worker pool multiplexing all blocks, with newest-wins
+//!   coalescing mailboxes ([`runtime::mailbox`]) for the asynchronous
+//!   exchanges — this is what a downstream user runs on a multicore machine;
 //! * [`runtime::simulated`] executes the kernel in virtual time over
 //!   `aiac-netsim` grids and `aiac-envs` environment models — this is what the
 //!   benchmark harness uses to reproduce the paper's grid experiments;
@@ -40,6 +41,6 @@ pub mod message;
 pub mod report;
 pub mod runtime;
 
-pub use config::{ExecutionMode, RunConfig};
+pub use config::{ConfigError, ExecutionMode, RunConfig};
 pub use kernel::{BlockUpdate, IterativeKernel};
-pub use report::RunReport;
+pub use report::{RunError, RunReport};

@@ -45,14 +45,30 @@ impl Message {
         }
     }
 
-    /// Application payload size in bytes, used by the simulated runtime for
-    /// its transfer-time model (data values dominate; control messages are a
-    /// few bytes).
+    /// Fixed wire header every message variant pays: an 8-byte variant tag.
+    /// All variants are modelled uniformly as this header plus their fields,
+    /// so the transfer-time model charges consistent sizes across message
+    /// kinds.
+    pub const HEADER_BYTES: u64 = 8;
+
+    /// Wire size of a [`Message::Data`] carrying `num_values` f64 values:
+    /// the common header, the sender id (8 bytes), the iteration tag
+    /// (8 bytes) and the payload itself. Exposed separately so executors can
+    /// account for data traffic without materialising a `Message`.
+    pub fn data_payload_bytes(num_values: usize) -> u64 {
+        Self::HEADER_BYTES + 16 + (num_values * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Application wire size in bytes — header plus fields, uniformly across
+    /// the variants — used for the transfer-time model (data values dominate;
+    /// control messages are a few bytes).
     pub fn payload_bytes(&self) -> u64 {
         match self {
-            Message::Data { values, .. } => (values.len() * std::mem::size_of::<f64>()) as u64 + 16,
-            Message::State { .. } => 16,
-            Message::Stop => 8,
+            Message::Data { values, .. } => Self::data_payload_bytes(values.len()),
+            // sender id (8 bytes) + the convergence flag (1 byte)
+            Message::State { .. } => Self::HEADER_BYTES + 9,
+            // the stop order carries no fields at all
+            Message::Stop => Self::HEADER_BYTES,
         }
     }
 
@@ -83,8 +99,26 @@ mod tests {
             iteration: 1,
             values: vec![0.0; 1000],
         };
-        assert_eq!(small.payload_bytes(), 96);
-        assert!(large.payload_bytes() > small.payload_bytes());
+        // header (8) + from (8) + iteration (8) + 10 × 8 payload bytes
+        assert_eq!(small.payload_bytes(), 104);
+        assert_eq!(large.payload_bytes() - small.payload_bytes(), 990 * 8);
+    }
+
+    #[test]
+    fn every_variant_pays_the_same_header() {
+        let empty = Message::Data {
+            from: 0,
+            iteration: 0,
+            values: vec![],
+        };
+        assert_eq!(empty.payload_bytes(), Message::HEADER_BYTES + 16);
+        assert_eq!(empty.payload_bytes(), Message::data_payload_bytes(0));
+        let state = Message::State {
+            from: 0,
+            converged: false,
+        };
+        assert_eq!(state.payload_bytes(), Message::HEADER_BYTES + 9);
+        assert_eq!(Message::Stop.payload_bytes(), Message::HEADER_BYTES);
     }
 
     #[test]
@@ -93,8 +127,8 @@ mod tests {
             from: 3,
             converged: true,
         };
-        assert!(state.payload_bytes() <= 16);
-        assert!(Message::Stop.payload_bytes() <= 16);
+        assert!(state.payload_bytes() <= 24);
+        assert!(Message::Stop.payload_bytes() <= 24);
         assert!(state.is_control());
         assert!(Message::Stop.is_control());
     }

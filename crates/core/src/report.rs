@@ -8,8 +8,49 @@
 //! the series of Figure 3, so the report also knows how to compute the
 //! paper's "speed ratio" (synchronous time divided by asynchronous time).
 
-use crate::config::ExecutionMode;
+use crate::config::{ConfigError, ExecutionMode};
 use serde::{Deserialize, Serialize};
+
+/// Why a run could not produce a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunError {
+    /// The run configuration failed validation before any work started.
+    InvalidConfig(ConfigError),
+    /// The executor's workers exited without delivering results for these
+    /// blocks (sorted ascending) — a worker died or was torn down early.
+    MissingResults {
+        /// The block indices with no result.
+        missing: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidConfig(err) => write!(f, "invalid run configuration: {err}"),
+            RunError::MissingResults { missing } => write!(
+                f,
+                "workers exited without delivering results for {} of the blocks: {missing:?}",
+                missing.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::InvalidConfig(err) => Some(err),
+            RunError::MissingResults { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(err: ConfigError) -> Self {
+        RunError::InvalidConfig(err)
+    }
+}
 
 /// The outcome of one solver run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,6 +71,15 @@ pub struct RunReport {
     pub control_messages: u64,
     /// Total application payload bytes carried by data messages.
     pub data_bytes: u64,
+    /// Number of data payloads superseded by a newer iterate before the
+    /// destination consumed them. Non-zero only for back-ends with coalescing
+    /// mailboxes (the threaded executor); queue-based and simulated back-ends
+    /// report 0.
+    pub coalesced_messages: u64,
+    /// Peak number of simultaneously buffered data payloads. For the threaded
+    /// executor this is the mailbox high-water mark, bounded by the
+    /// dependency-edge count; back-ends without mailboxes report 0.
+    pub peak_mailbox_occupancy: u64,
     /// Whether the run stopped because global convergence was detected
     /// (`false` = iteration limit hit).
     pub converged: bool,
@@ -95,6 +145,8 @@ mod tests {
             data_messages: 10,
             control_messages: 4,
             data_bytes: 1_000,
+            coalesced_messages: 0,
+            peak_mailbox_occupancy: 0,
             converged: true,
             solution: vec![0.0],
             final_residual: 1e-9,
@@ -122,6 +174,20 @@ mod tests {
     fn zero_iteration_block_gives_infinite_imbalance() {
         let r = report(ExecutionMode::Asynchronous, 1.0, vec![0, 5]);
         assert!(r.iteration_imbalance().is_infinite());
+    }
+
+    #[test]
+    fn run_error_display_names_the_missing_blocks() {
+        let err = RunError::MissingResults {
+            missing: vec![2, 5],
+        };
+        let text = err.to_string();
+        assert!(text.contains("2 of the blocks"), "{text}");
+        assert!(text.contains("[2, 5]"), "{text}");
+
+        let config = RunError::from(ConfigError::ZeroWorkers);
+        assert!(config.to_string().contains("num_workers"));
+        assert!(std::error::Error::source(&config).is_some());
     }
 
     #[test]

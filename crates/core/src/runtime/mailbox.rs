@@ -1,0 +1,251 @@
+//! Newest-wins coalescing mailboxes for the threaded executor.
+//!
+//! The AIAC model (Section 1.2 of the paper) only ever consumes the *newest*
+//! available version of a dependency block: whenever several updates of the
+//! same block are pending at a receiver, all but the latest are dead weight
+//! that [`crate::block::BlockState::incorporate`] would overwrite anyway.
+//! Shipping every iterate through an unbounded queue therefore lets a fast
+//! producer grow a slow consumer's inbox without bound.
+//!
+//! [`CoalescingMailboxes`] exploits the model instead of fighting it: each
+//! directed dependency edge `(src, dst)` owns exactly **one** slot holding the
+//! latest published iterate (a `Mutex<Option<(iteration, values)>>`). A
+//! publish into an occupied slot *coalesces* — it replaces the stale payload
+//! in place, reusing its allocation — so the total in-flight data storage is
+//! bounded by the number of edges of the dependency graph, independent of how
+//! far producers run ahead of consumers. Occupancy and coalescing counters
+//! are tracked so runs can report (and tests can assert) the bound.
+
+use crate::depgraph::DependencyGraph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The latest iterate published on one dependency edge.
+struct Envelope {
+    /// Sender-side iteration number the values were produced at.
+    iteration: u64,
+    /// The block values.
+    values: Vec<f64>,
+}
+
+/// One slot per dependency edge, holding only the newest iterate.
+pub struct CoalescingMailboxes {
+    /// `slots[dst][k]` is the slot of the edge `in_neighbours(dst)[k] → dst`.
+    slots: Vec<Vec<Mutex<Option<Envelope>>>>,
+    /// `sources[dst][k]` = the source block of `slots[dst][k]`.
+    sources: Vec<Vec<usize>>,
+    /// `routes[src]` = every `(dst, k)` such that `slots[dst][k]` carries
+    /// data from `src` (the out-edges of `src`, resolved to slot indices).
+    routes: Vec<Vec<(usize, usize)>>,
+    /// Total number of publishes (one per out-edge per publishing iterate).
+    publishes: AtomicU64,
+    /// Publishes that replaced a not-yet-consumed payload (newest wins).
+    coalesced: AtomicU64,
+    /// Number of currently occupied slots.
+    occupancy: AtomicU64,
+    /// High-water mark of `occupancy`.
+    peak_occupancy: AtomicU64,
+}
+
+/// Counters of a [`CoalescingMailboxes`] instance, snapshot at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MailboxStats {
+    /// Total number of per-edge publishes.
+    pub publishes: u64,
+    /// Publishes that overwrote an unconsumed payload.
+    pub coalesced: u64,
+    /// Number of slots occupied right now.
+    pub occupancy: u64,
+    /// Highest number of simultaneously occupied slots observed.
+    pub peak_occupancy: u64,
+    /// Number of slots in existence — the dependency-edge count, and the hard
+    /// bound every occupancy value stays under.
+    pub capacity: u64,
+}
+
+impl CoalescingMailboxes {
+    /// Creates one empty slot per directed edge of the dependency graph.
+    pub fn new(graph: &DependencyGraph) -> Self {
+        let m = graph.num_blocks();
+        let mut slots = Vec::with_capacity(m);
+        let mut sources = Vec::with_capacity(m);
+        let mut routes = vec![Vec::new(); m];
+        for dst in 0..m {
+            let deps = graph.in_neighbours(dst);
+            for (k, &src) in deps.iter().enumerate() {
+                routes[src].push((dst, k));
+            }
+            slots.push(deps.iter().map(|_| Mutex::new(None)).collect());
+            sources.push(deps.to_vec());
+        }
+        Self {
+            slots,
+            sources,
+            routes,
+            publishes: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            occupancy: AtomicU64::new(0),
+            peak_occupancy: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots (= directed dependency edges).
+    pub fn capacity(&self) -> u64 {
+        self.slots.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Publishes `values` (produced at the sender's `iteration`) on every
+    /// out-edge of `src`, then calls `on_deliver(dst)` for each destination so
+    /// the caller can wake it. An older iterate already sitting in a slot is
+    /// replaced in place (its allocation is reused); a *newer* one — possible
+    /// only with out-of-order publishers — is kept, since the newest wins.
+    pub fn publish_from(
+        &self,
+        src: usize,
+        iteration: u64,
+        values: &[f64],
+        mut on_deliver: impl FnMut(usize),
+    ) {
+        for &(dst, k) in &self.routes[src] {
+            self.publishes.fetch_add(1, Ordering::Relaxed);
+            {
+                let mut slot = self.slots[dst][k].lock().unwrap();
+                match slot.as_mut() {
+                    Some(env) if env.iteration > iteration => {
+                        // Stale publish: the slot already holds something newer.
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(env) => {
+                        env.iteration = iteration;
+                        env.values.clear();
+                        env.values.extend_from_slice(values);
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        *slot = Some(Envelope {
+                            iteration,
+                            values: values.to_vec(),
+                        });
+                        let now = self.occupancy.fetch_add(1, Ordering::Relaxed) + 1;
+                        self.peak_occupancy.fetch_max(now, Ordering::Relaxed);
+                    }
+                }
+            }
+            on_deliver(dst);
+        }
+    }
+
+    /// Drains every occupied in-edge slot of `dst`, handing each payload to
+    /// `consume(src, iteration, values)` (newest version only, by
+    /// construction).
+    pub fn take_for(&self, dst: usize, mut consume: impl FnMut(usize, u64, Vec<f64>)) {
+        for (k, slot) in self.slots[dst].iter().enumerate() {
+            let taken = {
+                let mut guard = slot.lock().unwrap();
+                let env = guard.take();
+                // Decrement while still holding the slot lock (mirroring the
+                // publish side) so a concurrent publish into the just-emptied
+                // slot cannot observe an inflated occupancy and push the peak
+                // above the edge-count capacity.
+                if env.is_some() {
+                    self.occupancy.fetch_sub(1, Ordering::Relaxed);
+                }
+                env
+            };
+            if let Some(env) = taken {
+                consume(self.sources[dst][k], env.iteration, env.values);
+            }
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> MailboxStats {
+        MailboxStats {
+            publishes: self.publishes.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            occupancy: self.occupancy.load(Ordering::Relaxed),
+            peak_occupancy: self.peak_occupancy.load(Ordering::Relaxed),
+            capacity: self.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::test_kernels::RingContraction;
+
+    fn ring(blocks: usize) -> CoalescingMailboxes {
+        CoalescingMailboxes::new(&DependencyGraph::from_kernel(&RingContraction::new(blocks)))
+    }
+
+    #[test]
+    fn capacity_equals_the_edge_count() {
+        let boxes = ring(5);
+        assert_eq!(boxes.capacity(), 10); // 2 out-neighbours per block
+        assert_eq!(boxes.stats().capacity, 10);
+        assert_eq!(ring(1).capacity(), 0);
+    }
+
+    #[test]
+    fn publish_reaches_every_out_neighbour() {
+        let boxes = ring(4);
+        let mut delivered = Vec::new();
+        boxes.publish_from(0, 1, &[7.0], |dst| delivered.push(dst));
+        delivered.sort_unstable();
+        assert_eq!(delivered, vec![1, 3]);
+
+        let mut received = Vec::new();
+        boxes.take_for(1, |src, iter, values| received.push((src, iter, values)));
+        assert_eq!(received, vec![(0, 1, vec![7.0])]);
+    }
+
+    #[test]
+    fn newest_wins_and_memory_stays_bounded() {
+        let boxes = ring(3);
+        // Block 0 runs five iterations ahead of its consumers; only the last
+        // iterate survives and the occupancy never exceeds its two out-edges.
+        for iteration in 1..=5 {
+            boxes.publish_from(0, iteration, &[iteration as f64], |_| {});
+        }
+        let stats = boxes.stats();
+        assert_eq!(stats.publishes, 10);
+        assert_eq!(stats.coalesced, 8, "4 of 5 publishes coalesce, per edge");
+        assert_eq!(stats.occupancy, 2);
+        assert_eq!(stats.peak_occupancy, 2);
+        assert!(stats.peak_occupancy <= stats.capacity);
+
+        let mut received = Vec::new();
+        boxes.take_for(1, |src, iter, values| received.push((src, iter, values)));
+        assert_eq!(received, vec![(0, 5, vec![5.0])]);
+    }
+
+    #[test]
+    fn out_of_order_publish_keeps_the_newer_iterate() {
+        let boxes = ring(3);
+        boxes.publish_from(0, 9, &[9.0], |_| {});
+        boxes.publish_from(0, 4, &[4.0], |_| {});
+        let mut received = Vec::new();
+        boxes.take_for(1, |_, iter, values| received.push((iter, values)));
+        assert_eq!(received, vec![(9, vec![9.0])]);
+    }
+
+    #[test]
+    fn take_empties_the_slots_and_occupancy_returns_to_zero() {
+        let boxes = ring(4);
+        for b in 0..4 {
+            boxes.publish_from(b, 1, &[b as f64], |_| {});
+        }
+        assert_eq!(boxes.stats().occupancy, 8);
+        for b in 0..4 {
+            boxes.take_for(b, |_, _, _| {});
+        }
+        let stats = boxes.stats();
+        assert_eq!(stats.occupancy, 0);
+        assert_eq!(stats.peak_occupancy, 8);
+        // a second drain finds nothing
+        let mut count = 0;
+        boxes.take_for(0, |_, _, _| count += 1);
+        assert_eq!(count, 0);
+    }
+}

@@ -4,9 +4,10 @@
 //!
 //! * [`sequential`] — a single-threaded fixed-point loop used as the
 //!   correctness reference;
-//! * [`threaded`] — one OS thread per block with crossbeam channels; the
-//!   synchronous mode inserts a barrier and a global exchange between
-//!   iterations (SISC), the asynchronous mode lets every thread run free
+//! * [`threaded`] — a fixed-size worker pool multiplexing all blocks, with
+//!   newest-wins [`mailbox`] slots (one per dependency edge) for the data
+//!   exchanges; the synchronous mode runs barrier-separated supersteps
+//!   (SISC), the asynchronous mode lets every block run at its own pace
 //!   (AIAC). This back-end is what a downstream user runs on a multicore
 //!   machine.
 //! * [`simulated`] — a virtual-time execution over an `aiac-netsim` grid and
@@ -15,10 +16,12 @@
 //!   heterogeneous machines behind 10 Mb Ethernet and ADSL links cannot be
 //!   conjured on a development box.
 
+pub mod mailbox;
 pub mod sequential;
 pub mod simulated;
 pub mod threaded;
 
+pub use mailbox::{CoalescingMailboxes, MailboxStats};
 pub use sequential::SequentialRuntime;
 pub use simulated::{SimulatedRuntime, SimulationOutcome};
 pub use threaded::ThreadedRuntime;

@@ -70,6 +70,8 @@ impl SequentialRuntime {
             data_messages: 0,
             control_messages: 0,
             data_bytes: 0,
+            coalesced_messages: 0,
+            peak_mailbox_occupancy: 0,
             converged,
             solution: kernel.assemble(&values),
             final_residual: worst_residual,

@@ -271,6 +271,8 @@ impl SimulatedRuntime {
             data_messages,
             control_messages,
             data_bytes,
+            coalesced_messages: 0,
+            peak_mailbox_occupancy: 0,
             converged,
             solution: kernel.assemble(&values),
             final_residual: worst_residual,
@@ -391,6 +393,8 @@ impl SimulatedRuntime {
             data_messages: stats.data_messages,
             control_messages: stats.control_messages,
             data_bytes: stats.data_bytes,
+            coalesced_messages: 0,
+            peak_mailbox_occupancy: 0,
             converged: detector.is_decided(),
             solution: kernel.assemble(&values),
             final_residual: worst_residual,

@@ -1,20 +1,44 @@
-//! The threaded runtime: real OS threads, one per block.
+//! The threaded runtime: a fixed-size worker pool multiplexing all blocks.
 //!
 //! This back-end is the library's "production" executor on a multicore
-//! machine. It maps every block of the kernel to a worker thread and
-//! exchanges block data through unbounded crossbeam channels:
+//! machine. Earlier revisions mapped every block to its own OS thread and
+//! shipped every iterate through unbounded channels; past a few hundred
+//! blocks that collapses twice over — the machine drowns in oversubscribed
+//! threads, and a fast producer floods a slow consumer's queue with stale
+//! payloads the drain loop immediately overwrites, so memory grows without
+//! bound. The executor now follows the asynchronous many-tasking recipe
+//! instead:
 //!
-//! * **Synchronous mode (SISC)** — every iteration ends with a data exchange
-//!   and two barriers, so all workers execute the same iteration number and
-//!   the iterates are bit-identical to the sequential Jacobi sweep. The idle
-//!   time spent at the barriers is exactly the white space of Figure 1.
-//! * **Asynchronous mode (AIAC)** — workers never wait: they drain whatever
-//!   messages have arrived, iterate on the data they have, send their new
-//!   values to their dependants and immediately start the next iteration, as
-//!   in Figure 2. Local convergence is tracked with the streak rule and
-//!   reported to a centralized detector (run by the main thread) only on
-//!   state changes; the detector broadcasts a stop signal once every block is
-//!   locally converged.
+//! * **Worker pool** — `RunConfig::num_workers` OS threads (default: the
+//!   machine's available parallelism, never more than the block count)
+//!   multiplex the `m` blocks as lightweight tasks pulled from a shared run
+//!   queue. Idle workers *park* on a condition variable instead of
+//!   busy-spinning.
+//! * **Coalescing mailboxes** — block data travels through
+//!   [`super::mailbox::CoalescingMailboxes`]: one newest-wins slot per
+//!   dependency edge, so in-flight data storage is O(edges) regardless of how
+//!   far any producer runs ahead. This is exactly the AIAC model's semantics
+//!   ("the newest received values overwrite previous ones") enforced at the
+//!   transport layer.
+//! * **Control plane** — unchanged from the paper's centralized halting
+//!   procedure (Section 4.3): workers report local-convergence *state
+//!   changes* over a channel to the coordinator on the main thread, and the
+//!   coordinator broadcasts the stop order (here: a shared flag plus a
+//!   wake-everyone on the run queue) once every block is locally converged.
+//!
+//! The two execution modes keep their semantics:
+//!
+//! * **Synchronous mode (SISC)** — the pool runs barrier-separated
+//!   supersteps: every block is iterated (a Jacobi sweep reading the previous
+//!   iteration's values), the new iterates are exchanged through the
+//!   mailboxes, and block 0's owner evaluates the true global residual. The
+//!   iterates are bit-identical to the sequential sweep; the barrier idle
+//!   time is exactly the white space of Figure 1.
+//! * **Asynchronous mode (AIAC)** — blocks never wait: when a worker picks a
+//!   block it drains the block's mailboxes, iterates on whatever data it has,
+//!   publishes its new values and requeues itself, as in Figure 2. A locally
+//!   converged block goes *dormant* instead of spinning and is woken by the
+//!   next publish from one of its dependencies (or by the stop broadcast).
 
 use crate::block::BlockState;
 use crate::config::{ExecutionMode, RunConfig};
@@ -22,29 +46,118 @@ use crate::convergence::{GlobalDetector, LocalConvergence};
 use crate::depgraph::DependencyGraph;
 use crate::kernel::IterativeKernel;
 use crate::message::Message;
-use crate::report::RunReport;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use crate::report::{RunError, RunReport};
+use crate::runtime::mailbox::{CoalescingMailboxes, MailboxStats};
+use crossbeam::channel::{unbounded, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Condvar, Mutex};
 use std::time::Instant;
 
 /// What a worker tells the coordinator.
 enum CoordEvent {
-    /// The worker's local convergence state changed.
+    /// A block's local convergence state changed.
     StateChange { block: usize, converged: bool },
-    /// The worker finished (stop received, converged, or iteration limit).
+    /// A block finished (stop received or iteration limit reached).
     Finished,
 }
 
-/// Final per-worker result returned to the main thread.
-struct WorkerResult {
-    block: usize,
+/// Final per-block result, filled in when the block finishes.
+struct BlockOutcome {
     values: Vec<f64>,
     iterations: u64,
     residual: f64,
 }
 
-/// Multi-threaded executor (one OS thread per block).
+/// The shared run queue blocks are scheduled on.
+///
+/// Each block is enqueued at most once (`queued` flags); workers with nothing
+/// to do park on the condition variable until a publish, a broadcast or the
+/// final close wakes them.
+struct Scheduler {
+    state: Mutex<SchedQueue>,
+    ready: Condvar,
+}
+
+struct SchedQueue {
+    queue: VecDeque<usize>,
+    queued: Vec<bool>,
+    closed: bool,
+}
+
+impl Scheduler {
+    fn new(num_blocks: usize) -> Self {
+        Self {
+            state: Mutex::new(SchedQueue {
+                queue: VecDeque::with_capacity(num_blocks),
+                queued: vec![false; num_blocks],
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Schedules `block` unless it is already queued; wakes one parked worker.
+    fn enqueue(&self, block: usize) {
+        let mut st = self.state.lock().unwrap();
+        if !st.closed && !st.queued[block] {
+            st.queued[block] = true;
+            st.queue.push_back(block);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Schedules every block (the stop/drain broadcast); wakes all workers.
+    fn enqueue_all(&self) {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return;
+        }
+        for block in 0..st.queued.len() {
+            if !st.queued[block] {
+                st.queued[block] = true;
+                st.queue.push_back(block);
+            }
+        }
+        self.ready.notify_all();
+    }
+
+    /// The next block to process, parking the calling worker while the queue
+    /// is empty. Returns `None` once the scheduler is closed.
+    fn next(&self) -> Option<usize> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(block) = st.queue.pop_front() {
+                st.queued[block] = false;
+                return Some(block);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Shuts the queue down and releases every parked worker.
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Closes the scheduler when a worker unwinds, so the remaining workers and
+/// the coordinator are released instead of parking forever behind a panic.
+struct PanicGuard<'a>(&'a Scheduler);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.close();
+        }
+    }
+}
+
+/// Multi-threaded executor (fixed worker pool over all blocks).
 #[derive(Debug, Clone, Default)]
 pub struct ThreadedRuntime {
     _private: (),
@@ -57,65 +170,77 @@ impl ThreadedRuntime {
     }
 
     /// Runs the kernel with the requested mode and returns the report.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or if a worker exits without
+    /// delivering its block results (see [`ThreadedRuntime::try_run`] for the
+    /// non-panicking variant).
     pub fn run(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> RunReport {
-        config.validate();
+        self.try_run(kernel, config)
+            .unwrap_or_else(|err| panic!("ThreadedRuntime::run failed: {err}"))
+    }
+
+    /// Runs the kernel, reporting configuration and worker failures as a
+    /// [`RunError`] instead of panicking.
+    pub fn try_run(
+        &self,
+        kernel: &dyn IterativeKernel,
+        config: &RunConfig,
+    ) -> Result<RunReport, RunError> {
+        config.try_validate()?;
         match config.mode {
             ExecutionMode::Synchronous => self.run_synchronous(kernel, config),
             ExecutionMode::Asynchronous => self.run_asynchronous(kernel, config),
         }
     }
 
-    fn run_synchronous(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> RunReport {
+    fn run_synchronous(
+        &self,
+        kernel: &dyn IterativeKernel,
+        config: &RunConfig,
+    ) -> Result<RunReport, RunError> {
         let m = kernel.num_blocks();
         let graph = DependencyGraph::from_kernel(kernel);
         let started = Instant::now();
+        let workers = config.effective_num_workers(m);
 
-        // Data channels, one inbox per block.
-        let mut senders = Vec::with_capacity(m);
-        let mut receivers = Vec::with_capacity(m);
-        for _ in 0..m {
-            let (tx, rx) = unbounded::<Message>();
-            senders.push(tx);
-            receivers.push(Some(rx));
-        }
-        let barrier = Barrier::new(m);
+        let mailboxes = CoalescingMailboxes::new(&graph);
+        let barrier = Barrier::new(workers);
         let residuals: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(0)).collect();
         let stop = AtomicBool::new(false);
         let data_messages = AtomicU64::new(0);
         let data_bytes = AtomicU64::new(0);
-        let (result_tx, result_rx) = unbounded::<WorkerResult>();
+        let results: Vec<Mutex<Option<BlockOutcome>>> = (0..m).map(|_| Mutex::new(None)).collect();
 
         crossbeam::scope(|scope| {
-            for (block, slot) in receivers.iter_mut().enumerate() {
-                let rx = slot.take().expect("receiver already taken");
-                let senders = &senders;
+            for worker in 0..workers {
                 let graph = &graph;
+                let mailboxes = &mailboxes;
                 let barrier = &barrier;
                 let residuals = &residuals;
                 let stop = &stop;
                 let data_messages = &data_messages;
                 let data_bytes = &data_bytes;
-                let result_tx = result_tx.clone();
+                let results = &results;
                 scope.spawn(move |_| {
                     sync_worker(
                         kernel,
                         config,
-                        block,
-                        rx,
-                        senders,
+                        worker,
+                        workers,
                         graph,
+                        mailboxes,
                         barrier,
                         residuals,
                         stop,
                         data_messages,
                         data_bytes,
-                        result_tx,
+                        results,
                     );
                 });
             }
         })
         .expect("a synchronous worker thread panicked");
-        drop(result_tx);
 
         let converged = stop.load(Ordering::SeqCst);
         finalize_report(
@@ -123,77 +248,85 @@ impl ThreadedRuntime {
             ExecutionMode::Synchronous,
             "threaded sync",
             started,
-            result_rx,
+            results
+                .into_iter()
+                .map(|r| r.into_inner().unwrap())
+                .collect(),
             data_messages.load(Ordering::SeqCst),
             0,
             data_bytes.load(Ordering::SeqCst),
             converged,
+            mailboxes.stats(),
         )
     }
 
-    fn run_asynchronous(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> RunReport {
+    fn run_asynchronous(
+        &self,
+        kernel: &dyn IterativeKernel,
+        config: &RunConfig,
+    ) -> Result<RunReport, RunError> {
         let m = kernel.num_blocks();
         let graph = DependencyGraph::from_kernel(kernel);
         let started = Instant::now();
+        let workers = config.effective_num_workers(m);
 
-        let mut senders = Vec::with_capacity(m);
-        let mut receivers = Vec::with_capacity(m);
-        for _ in 0..m {
-            let (tx, rx) = unbounded::<Message>();
-            senders.push(tx);
-            receivers.push(Some(rx));
+        let pool = AsyncPool {
+            kernel,
+            config,
+            graph: &graph,
+            mailboxes: CoalescingMailboxes::new(&graph),
+            sched: Scheduler::new(m),
+            tasks: (0..m)
+                .map(|b| {
+                    Mutex::new(AsyncTask {
+                        state: BlockState::new(kernel, b),
+                        local: LocalConvergence::new(config.epsilon, config.convergence_streak),
+                        done: false,
+                    })
+                })
+                .collect(),
+            results: (0..m).map(|_| Mutex::new(None)).collect(),
+            stop: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            finished_blocks: AtomicUsize::new(0),
+            data_messages: AtomicU64::new(0),
+            control_messages: AtomicU64::new(0),
+            data_bytes: AtomicU64::new(0),
+        };
+        // Every block starts runnable ("only the first iteration begins at
+        // the same time on all the processors").
+        for block in 0..m {
+            pool.sched.enqueue(block);
         }
+
         let (coord_tx, coord_rx) = unbounded::<CoordEvent>();
-        let (result_tx, result_rx) = unbounded::<WorkerResult>();
-        let stop = AtomicBool::new(false);
-        let data_messages = AtomicU64::new(0);
-        let control_messages = AtomicU64::new(0);
-        let data_bytes = AtomicU64::new(0);
         let mut detector = GlobalDetector::new(m);
 
         crossbeam::scope(|scope| {
-            for (block, slot) in receivers.iter_mut().enumerate() {
-                let rx = slot.take().expect("receiver already taken");
-                let senders = &senders;
-                let graph = &graph;
-                let stop = &stop;
-                let data_messages = &data_messages;
-                let control_messages = &control_messages;
-                let data_bytes = &data_bytes;
+            for _ in 0..workers {
+                let pool = &pool;
                 let coord_tx = coord_tx.clone();
-                let result_tx = result_tx.clone();
                 scope.spawn(move |_| {
-                    async_worker(
-                        kernel,
-                        config,
-                        block,
-                        rx,
-                        senders,
-                        graph,
-                        stop,
-                        data_messages,
-                        control_messages,
-                        data_bytes,
-                        coord_tx,
-                        result_tx,
-                    );
+                    let _guard = PanicGuard(&pool.sched);
+                    while let Some(block) = pool.sched.next() {
+                        pool.process(block, &coord_tx);
+                    }
                 });
             }
             drop(coord_tx);
 
-            // The main thread plays the role of the paper's central node:
-            // it gathers state messages and broadcasts the stop order.
+            // The main thread plays the role of the paper's central node: it
+            // gathers state messages and broadcasts the stop order.
             let mut finished = 0usize;
             while finished < m {
                 match coord_rx.recv() {
                     Ok(CoordEvent::StateChange { block, converged }) => {
                         if detector.report(block, converged) {
-                            stop.store(true, Ordering::SeqCst);
-                            for tx in senders.iter() {
-                                // Workers also poll the stop flag; the explicit
-                                // message mirrors the paper's halting procedure.
-                                let _ = tx.send(Message::Stop);
-                            }
+                            pool.stop.store(true, Ordering::SeqCst);
+                            // The stop broadcast: wake every parked worker and
+                            // dormant block so each one observes the flag and
+                            // finishes (the paper's halting procedure).
+                            pool.sched.enqueue_all();
                         }
                     }
                     Ok(CoordEvent::Finished) => finished += 1,
@@ -202,71 +335,206 @@ impl ThreadedRuntime {
             }
         })
         .expect("an asynchronous worker thread panicked");
-        drop(result_tx);
 
+        let stats = pool.mailboxes.stats();
         finalize_report(
             kernel,
             ExecutionMode::Asynchronous,
             "threaded async",
             started,
-            result_rx,
-            data_messages.load(Ordering::SeqCst),
-            control_messages.load(Ordering::SeqCst),
-            data_bytes.load(Ordering::SeqCst),
+            pool.results
+                .into_iter()
+                .map(|r| r.into_inner().unwrap())
+                .collect(),
+            pool.data_messages.load(Ordering::SeqCst),
+            pool.control_messages.load(Ordering::SeqCst),
+            pool.data_bytes.load(Ordering::SeqCst),
             detector.is_decided(),
+            stats,
         )
     }
 }
 
+/// Per-block task of the asynchronous pool. The scheduler's
+/// at-most-once-queued invariant means at most one worker processes a block
+/// at any time, so the mutex is uncontended in practice.
+struct AsyncTask {
+    state: BlockState,
+    local: LocalConvergence,
+    done: bool,
+}
+
+/// Everything the asynchronous pool's workers share.
+struct AsyncPool<'a> {
+    kernel: &'a dyn IterativeKernel,
+    config: &'a RunConfig,
+    graph: &'a DependencyGraph,
+    mailboxes: CoalescingMailboxes,
+    sched: Scheduler,
+    tasks: Vec<Mutex<AsyncTask>>,
+    results: Vec<Mutex<Option<BlockOutcome>>>,
+    /// Global stop order from the coordinator.
+    stop: AtomicBool,
+    /// Set when some block exhausts its iteration limit before global
+    /// convergence: the stop order may now never come, so converged blocks
+    /// must stop parking and run out their own limits (the per-thread
+    /// semantics of the paper's implementations).
+    drain: AtomicBool,
+    finished_blocks: AtomicUsize,
+    data_messages: AtomicU64,
+    control_messages: AtomicU64,
+    data_bytes: AtomicU64,
+}
+
+impl AsyncPool<'_> {
+    /// Runs one scheduling slice of `block`: drain its mailboxes, iterate
+    /// once, publish, and decide whether to requeue, park or finish.
+    fn process(&self, block: usize, coord_tx: &Sender<CoordEvent>) {
+        let mut task = self.tasks[block].lock().unwrap();
+        if task.done {
+            return;
+        }
+
+        // Receive whatever has arrived (the newest version per edge, by
+        // construction of the coalescing mailboxes).
+        let mut fresh_data = false;
+        self.mailboxes.take_for(block, |src, iteration, values| {
+            fresh_data |= task.state.incorporate(src, iteration, values);
+        });
+
+        let max_iter = self.config.max_iterations as u64;
+        if self.stop.load(Ordering::SeqCst) || task.state.iteration >= max_iter {
+            self.finish(block, &mut task, coord_tx);
+            return;
+        }
+
+        task.state.iterate(self.kernel);
+
+        // Local convergence is judged on the cumulative drift since the last
+        // window anchor, so that a round of updates split over many cheap
+        // iterations is not under-measured. Quiet iterations on stale data do
+        // not advance the streak; reports go out only when the state changes.
+        let drift = self
+            .kernel
+            .residual_between(block, &task.state.values, task.state.anchor());
+        if drift >= self.config.epsilon {
+            task.state.reset_anchor();
+        }
+        let has_dependencies = !self.graph.in_neighbours(block).is_empty();
+        if task
+            .local
+            .observe_gated(drift, fresh_data || !has_dependencies)
+        {
+            self.control_messages.fetch_add(1, Ordering::Relaxed);
+            let _ = coord_tx.send(CoordEvent::StateChange {
+                block,
+                converged: task.local.is_converged(),
+            });
+        }
+
+        // Publish the fresh values on every out-edge, waking the dependants.
+        let out_degree = self.graph.out_neighbours(block).len() as u64;
+        if out_degree > 0 {
+            self.mailboxes
+                .publish_from(block, task.state.iteration, &task.state.values, |dst| {
+                    self.sched.enqueue(dst)
+                });
+            self.data_messages.fetch_add(out_degree, Ordering::Relaxed);
+            self.data_bytes.fetch_add(
+                out_degree * Message::data_payload_bytes(task.state.values.len()),
+                Ordering::Relaxed,
+            );
+        }
+
+        if self.stop.load(Ordering::SeqCst) || task.state.iteration >= max_iter {
+            self.finish(block, &mut task, coord_tx);
+        } else if task.local.is_converged() && !self.drain.load(Ordering::SeqCst) {
+            // Dormant: stay off the run queue until a dependency publishes
+            // fresh data or the stop/drain broadcast re-enqueues everything.
+            // This replaces the old executor's yield_now busy-spin.
+        } else {
+            self.sched.enqueue(block);
+        }
+    }
+
+    /// Retires `block`: records its result, reports to the coordinator and
+    /// closes the scheduler when it was the last one.
+    fn finish(&self, block: usize, task: &mut AsyncTask, coord_tx: &Sender<CoordEvent>) {
+        task.done = true;
+        *self.results[block].lock().unwrap() = Some(BlockOutcome {
+            values: std::mem::take(&mut task.state.values),
+            iterations: task.state.iteration,
+            residual: task.state.residual,
+        });
+        if !self.stop.load(Ordering::SeqCst) {
+            // Iteration-limit exit before any stop order: global convergence
+            // may never be decided now, so make sure no block parks forever.
+            self.drain.store(true, Ordering::SeqCst);
+            self.sched.enqueue_all();
+        }
+        let _ = coord_tx.send(CoordEvent::Finished);
+        if self.finished_blocks.fetch_add(1, Ordering::SeqCst) + 1 == self.tasks.len() {
+            self.sched.close();
+        }
+    }
+}
+
+/// One synchronous pool worker: owns the blocks `worker, worker + workers,
+/// worker + 2·workers, …` and runs them through barrier-separated supersteps.
+/// The static partition keeps every block's floating-point trajectory
+/// identical to the sequential Jacobi sweep regardless of the pool size.
 #[allow(clippy::too_many_arguments)]
 fn sync_worker(
     kernel: &dyn IterativeKernel,
     config: &RunConfig,
-    block: usize,
-    rx: Receiver<Message>,
-    senders: &[Sender<Message>],
+    worker: usize,
+    workers: usize,
     graph: &DependencyGraph,
+    mailboxes: &CoalescingMailboxes,
     barrier: &Barrier,
     residuals: &[AtomicU64],
     stop: &AtomicBool,
     data_messages: &AtomicU64,
     data_bytes: &AtomicU64,
-    result_tx: Sender<WorkerResult>,
+    results: &[Mutex<Option<BlockOutcome>>],
 ) {
-    let mut state = BlockState::new(kernel, block);
+    let m = kernel.num_blocks();
+    let mut states: Vec<BlockState> = (worker..m)
+        .step_by(workers.max(1))
+        .map(|b| BlockState::new(kernel, b))
+        .collect();
     let max_iter = config.max_iterations as u64;
+    let mut iterations = 0u64;
 
-    while state.iteration < max_iter {
-        let residual = state.iterate(kernel);
-        residuals[block].store(residual.to_bits(), Ordering::SeqCst);
-
-        // Exchange: send the new values to every dependant.
-        for &dst in graph.out_neighbours(block) {
-            let msg = Message::Data {
-                from: block,
-                iteration: state.iteration,
-                values: state.values.clone(),
-            };
-            data_bytes.fetch_add(msg.payload_bytes(), Ordering::Relaxed);
-            data_messages.fetch_add(1, Ordering::Relaxed);
-            let _ = senders[dst].send(msg);
-        }
-        // Barrier A: all sends of this iteration are in flight.
-        barrier.wait();
-        // Incorporate everything received for this iteration.
-        while let Ok(msg) = rx.try_recv() {
-            if let Message::Data {
-                from,
-                iteration,
-                values,
-            } = msg
-            {
-                state.incorporate(from, iteration, values);
+    while iterations < max_iter {
+        // Compute + exchange phase: iterate every owned block (reading the
+        // dependency values delivered for the previous iteration — a Jacobi
+        // sweep) and publish the new iterates to the dependants' mailboxes.
+        for state in states.iter_mut() {
+            let residual = state.iterate(kernel);
+            residuals[state.id].store(residual.to_bits(), Ordering::SeqCst);
+            let out_degree = graph.out_neighbours(state.id).len() as u64;
+            if out_degree > 0 {
+                mailboxes.publish_from(state.id, state.iteration, &state.values, |_| {});
+                data_messages.fetch_add(out_degree, Ordering::Relaxed);
+                data_bytes.fetch_add(
+                    out_degree * Message::data_payload_bytes(state.values.len()),
+                    Ordering::Relaxed,
+                );
             }
         }
-        // Block 0 evaluates the global stopping criterion (the synchronous
-        // algorithm checks the true global residual).
-        if block == 0 {
+        iterations += 1;
+        // Barrier A: all publishes of this iteration are visible.
+        barrier.wait();
+        // Delivery phase: incorporate everything received for this iteration.
+        for state in states.iter_mut() {
+            mailboxes.take_for(state.id, |src, iteration, values| {
+                state.incorporate(src, iteration, values);
+            });
+        }
+        // The first worker evaluates the global stopping criterion (the
+        // synchronous algorithm checks the true global residual).
+        if worker == 0 {
             let worst = residuals
                 .iter()
                 .map(|r| f64::from_bits(r.load(Ordering::SeqCst)))
@@ -282,95 +550,13 @@ fn sync_worker(
         }
     }
 
-    let _ = result_tx.send(WorkerResult {
-        block,
-        values: state.values,
-        iterations: state.iteration,
-        residual: state.residual,
-    });
-}
-
-#[allow(clippy::too_many_arguments)]
-fn async_worker(
-    kernel: &dyn IterativeKernel,
-    config: &RunConfig,
-    block: usize,
-    rx: Receiver<Message>,
-    senders: &[Sender<Message>],
-    graph: &DependencyGraph,
-    stop: &AtomicBool,
-    data_messages: &AtomicU64,
-    control_messages: &AtomicU64,
-    data_bytes: &AtomicU64,
-    coord_tx: Sender<CoordEvent>,
-    result_tx: Sender<WorkerResult>,
-) {
-    let mut state = BlockState::new(kernel, block);
-    let mut local = LocalConvergence::new(config.epsilon, config.convergence_streak);
-    let max_iter = config.max_iterations as u64;
-    let has_dependencies = !graph.in_neighbours(block).is_empty();
-    let mut stop_received = false;
-
-    loop {
-        // Receive whatever has arrived, without ever blocking (the paper's
-        // separate receiving threads; the newest version wins).
-        let mut fresh_data = false;
-        while let Ok(msg) = rx.try_recv() {
-            match msg {
-                Message::Data {
-                    from,
-                    iteration,
-                    values,
-                } => {
-                    fresh_data |= state.incorporate(from, iteration, values);
-                }
-                Message::Stop => stop_received = true,
-                Message::State { .. } => {}
-            }
-        }
-        if stop_received || stop.load(Ordering::SeqCst) || state.iteration >= max_iter {
-            break;
-        }
-
-        state.iterate(kernel);
-
-        // Local convergence is judged on the cumulative drift since the last
-        // window anchor, so that a round of updates split over many cheap
-        // iterations is not under-measured. Quiet iterations on stale data do
-        // not advance the streak; reports go out only when the state changes.
-        let drift = kernel.residual_between(block, &state.values, state.anchor());
-        if drift >= config.epsilon {
-            state.reset_anchor();
-        }
-        if local.observe_gated(drift, fresh_data || !has_dependencies) {
-            control_messages.fetch_add(1, Ordering::Relaxed);
-            let _ = coord_tx.send(CoordEvent::StateChange {
-                block,
-                converged: local.is_converged(),
-            });
-        }
-
-        // Send the fresh values to every dependant, asynchronously.
-        for &dst in graph.out_neighbours(block) {
-            let msg = Message::Data {
-                from: block,
-                iteration: state.iteration,
-                values: state.values.clone(),
-            };
-            data_bytes.fetch_add(msg.payload_bytes(), Ordering::Relaxed);
-            data_messages.fetch_add(1, Ordering::Relaxed);
-            let _ = senders[dst].send(msg);
-        }
-        std::thread::yield_now();
+    for state in states {
+        *results[state.id].lock().unwrap() = Some(BlockOutcome {
+            iterations: state.iteration,
+            residual: state.residual,
+            values: state.values,
+        });
     }
-
-    let _ = coord_tx.send(CoordEvent::Finished);
-    let _ = result_tx.send(WorkerResult {
-        block,
-        values: state.values,
-        iterations: state.iteration,
-        residual: state.residual,
-    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -379,25 +565,31 @@ fn finalize_report(
     mode: ExecutionMode,
     backend: &str,
     started: Instant,
-    result_rx: Receiver<WorkerResult>,
+    outcomes: Vec<Option<BlockOutcome>>,
     data_messages: u64,
     control_messages: u64,
     data_bytes: u64,
     converged: bool,
-) -> RunReport {
+    mailbox_stats: MailboxStats,
+) -> Result<RunReport, RunError> {
     let m = kernel.num_blocks();
-    let mut values = vec![Vec::new(); m];
-    let mut iterations = vec![0u64; m];
-    let mut final_residual = 0.0f64;
-    let mut collected = 0usize;
-    while let Ok(res) = result_rx.try_recv() {
-        values[res.block] = res.values;
-        iterations[res.block] = res.iterations;
-        final_residual = final_residual.max(res.residual);
-        collected += 1;
+    let missing: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(block, r)| r.is_none().then_some(block))
+        .collect();
+    if outcomes.len() != m || !missing.is_empty() {
+        return Err(RunError::MissingResults { missing });
     }
-    assert_eq!(collected, m, "missing worker results");
-    RunReport {
+    let mut values = Vec::with_capacity(m);
+    let mut iterations = Vec::with_capacity(m);
+    let mut final_residual = 0.0f64;
+    for outcome in outcomes.into_iter().flatten() {
+        final_residual = final_residual.max(outcome.residual);
+        iterations.push(outcome.iterations);
+        values.push(outcome.values);
+    }
+    Ok(RunReport {
         mode,
         backend: backend.to_string(),
         elapsed_secs: started.elapsed().as_secs_f64(),
@@ -405,15 +597,18 @@ fn finalize_report(
         data_messages,
         control_messages,
         data_bytes,
+        coalesced_messages: mailbox_stats.coalesced,
+        peak_mailbox_occupancy: mailbox_stats.peak_occupancy,
         converged,
         solution: kernel.assemble(&values),
         final_residual,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ConfigError;
     use crate::kernel::test_kernels::{Diverging, RingContraction};
     use crate::runtime::sequential::SequentialRuntime;
 
@@ -427,6 +622,21 @@ mod tests {
         assert_eq!(par.iterations[0], seq.iterations[0]);
         for (a, b) in par.solution.iter().zip(&seq.solution) {
             assert_eq!(a, b, "synchronous iterates must be identical");
+        }
+    }
+
+    #[test]
+    fn synchronous_pool_is_bit_identical_for_every_pool_size() {
+        let kernel = RingContraction::new(6);
+        let seq = SequentialRuntime::new().run(&kernel, &RunConfig::synchronous(1e-10));
+        for workers in 1..=6 {
+            let config = RunConfig::synchronous(1e-10).with_num_workers(workers);
+            let par = ThreadedRuntime::new().run(&kernel, &config);
+            assert!(par.converged, "{workers} workers");
+            assert_eq!(par.iterations, seq.iterations, "{workers} workers");
+            for (a, b) in par.solution.iter().zip(&seq.solution) {
+                assert_eq!(a, b, "{workers} workers: iterates must be identical");
+            }
         }
     }
 
@@ -454,6 +664,41 @@ mod tests {
         let report = ThreadedRuntime::new().run(&kernel, &config);
         assert_eq!(report.iterations.len(), 4);
         assert!(report.iterations.iter().all(|&i| i > 0));
+    }
+
+    #[test]
+    fn pool_smaller_than_the_block_count_still_converges() {
+        // 12 blocks over at most 2 workers: the old executor would have
+        // spawned 12 threads; the pool must multiplex without deadlocking.
+        let kernel = RingContraction::new(12);
+        let config = RunConfig::asynchronous(1e-10)
+            .with_streak(4)
+            .with_num_workers(2);
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        assert!(report.converged);
+        let fp = kernel.fixed_point();
+        for v in &report.solution {
+            assert!((v - fp).abs() < 1e-6, "value {v} vs fixed point {fp}");
+        }
+    }
+
+    #[test]
+    fn in_flight_data_is_bounded_by_the_edge_count() {
+        let kernel = RingContraction::new(8);
+        let graph = DependencyGraph::from_kernel(&kernel);
+        for config in [
+            RunConfig::synchronous(1e-8).with_num_workers(3),
+            RunConfig::asynchronous(1e-8).with_num_workers(3),
+        ] {
+            let report = ThreadedRuntime::new().run(&kernel, &config);
+            assert!(
+                report.peak_mailbox_occupancy <= graph.num_edges() as u64,
+                "{:?}: peak {} must stay under the edge count {}",
+                config.mode,
+                report.peak_mailbox_occupancy,
+                graph.num_edges()
+            );
+        }
     }
 
     #[test]
@@ -488,5 +733,47 @@ mod tests {
             10 * report.iterations[0],
             "each iteration sends one message per directed edge"
         );
+    }
+
+    #[test]
+    fn try_run_reports_invalid_configurations() {
+        let kernel = RingContraction::new(2);
+        let bad = RunConfig::asynchronous(1e-8).with_num_workers(0);
+        let err = ThreadedRuntime::new().try_run(&kernel, &bad).unwrap_err();
+        assert_eq!(err, RunError::InvalidConfig(ConfigError::ZeroWorkers));
+    }
+
+    #[test]
+    fn finalize_report_names_the_blocks_without_results() {
+        // Regression test: a worker dying used to surface as a bare
+        // `assert_eq!(collected, m)` with no hint of what was lost.
+        let kernel = RingContraction::new(4);
+        let outcome = |v: f64| {
+            Some(BlockOutcome {
+                values: vec![v],
+                iterations: 1,
+                residual: 0.0,
+            })
+        };
+        let err = finalize_report(
+            &kernel,
+            ExecutionMode::Asynchronous,
+            "threaded async",
+            Instant::now(),
+            vec![outcome(0.0), None, outcome(2.0), None],
+            0,
+            0,
+            0,
+            false,
+            MailboxStats::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::MissingResults {
+                missing: vec![1, 3]
+            }
+        );
+        assert!(err.to_string().contains("[1, 3]"), "{err}");
     }
 }

@@ -26,9 +26,10 @@ pub use aiac_solvers as solvers;
 
 /// Commonly used items, importable with `use aiac::prelude::*`.
 pub mod prelude {
-    pub use aiac_core::config::{ExecutionMode, RunConfig};
+    pub use aiac_core::config::{ConfigError, ExecutionMode, RunConfig};
     pub use aiac_core::kernel::IterativeKernel;
-    pub use aiac_core::report::RunReport;
+    pub use aiac_core::report::{RunError, RunReport};
+    pub use aiac_core::runtime::{SequentialRuntime, SimulatedRuntime, ThreadedRuntime};
     pub use aiac_envs::env::EnvKind;
     pub use aiac_linalg::{BandedSpec, CsrMatrix, Partition};
     pub use aiac_netsim::topology::GridTopology;

@@ -3,6 +3,8 @@
 //! as the sequential reference, and the simulator must stay deterministic.
 
 use aiac::core::config::RunConfig;
+use aiac::core::depgraph::DependencyGraph;
+use aiac::core::kernel::{BlockUpdate, DependencyView, IterativeKernel};
 use aiac::core::runtime::sequential::SequentialRuntime;
 use aiac::core::runtime::simulated::SimulatedRuntime;
 use aiac::core::runtime::threaded::ThreadedRuntime;
@@ -25,6 +27,89 @@ fn random_problem(n: usize, blocks: usize, contraction: f64, seed: u64) -> Spars
         cost_scale: 1_000.0,
     };
     SparseLinearProblem::new(params)
+}
+
+/// splitmix64 — tiny deterministic generator used to derive per-block
+/// contraction weights from a proptest-supplied seed without pulling a rand
+/// dependency into the facade tests.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A ring of scalar blocks with *per-block* random weights
+/// `x_i ← a_i·x_{i−1} + b_i·x_i + c_i·x_{i+1} + d_i`, kept contractive
+/// (`a_i + b_i + c_i ≤ 0.9`) so convergence to a unique fixed point is
+/// guaranteed mathematically and any failure is an executor bug.
+#[derive(Debug, Clone)]
+struct RandomRing {
+    weights: Vec<[f64; 4]>,
+}
+
+impl RandomRing {
+    fn new(blocks: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ blocks as u64;
+        let weights = (0..blocks)
+            .map(|_| {
+                // three weights in [0.05, 0.25] (sum ≤ 0.75 < 1), offset in [0.5, 2]
+                let a = 0.05 + 0.20 * unit_f64(&mut state);
+                let b = 0.05 + 0.20 * unit_f64(&mut state);
+                let c = 0.05 + 0.20 * unit_f64(&mut state);
+                let d = 0.5 + 1.5 * unit_f64(&mut state);
+                [a, b, c, d]
+            })
+            .collect();
+        Self { weights }
+    }
+}
+
+impl IterativeKernel for RandomRing {
+    fn num_blocks(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn block_len(&self, _block: usize) -> usize {
+        1
+    }
+
+    fn initial_block(&self, _block: usize) -> Vec<f64> {
+        vec![0.0]
+    }
+
+    fn dependencies(&self, block: usize) -> Vec<usize> {
+        let m = self.num_blocks();
+        if m == 1 {
+            return Vec::new();
+        }
+        let left = (block + m - 1) % m;
+        let right = (block + 1) % m;
+        if left == right {
+            vec![left]
+        } else {
+            vec![left, right]
+        }
+    }
+
+    fn update_block(&self, block: usize, local: &[f64], others: &DependencyView) -> BlockUpdate {
+        let m = self.num_blocks();
+        let left = (block + m - 1) % m;
+        let right = (block + 1) % m;
+        let xl = others.get(left).map_or(0.0, |v| v[0]);
+        let xr = others.get(right).map_or(0.0, |v| v[0]);
+        let [a, b, c, d] = self.weights[block];
+        let new = a * xl + b * local[0] + c * xr + d;
+        BlockUpdate {
+            residual: (new - local[0]).abs(),
+            values: vec![new],
+        }
+    }
 }
 
 proptest! {
@@ -64,6 +149,39 @@ proptest! {
         for (a, b) in report.solution.iter().zip(&reference.solution) {
             prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
+    }
+
+    /// The pooled asynchronous executor reaches the sequential fixed point —
+    /// within tolerance — for any block count, worker-pool size and seed, and
+    /// its in-flight data storage never exceeds one mailbox slot per
+    /// dependency edge (the O(edges) bound of the coalescing design).
+    #[test]
+    fn prop_pooled_async_reaches_the_fixed_point_with_bounded_mailboxes(
+        blocks in 1usize..65,
+        workers in 1usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let kernel = RandomRing::new(blocks, seed);
+        let reference = SequentialRuntime::new()
+            .run(&kernel, &RunConfig::synchronous(1e-12));
+        prop_assert!(reference.converged);
+
+        let config = RunConfig::asynchronous(1e-10)
+            .with_streak(4)
+            .with_num_workers(workers);
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        prop_assert!(report.converged, "{blocks} blocks / {workers} workers");
+        for (a, b) in report.solution.iter().zip(&reference.solution) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+
+        let edges = DependencyGraph::from_kernel(&kernel).num_edges() as u64;
+        prop_assert!(
+            report.peak_mailbox_occupancy <= edges,
+            "peak occupancy {} exceeded the edge count {}",
+            report.peak_mailbox_occupancy,
+            edges
+        );
     }
 
     /// Simulated execution time shrinks (or at least does not grow) when the
