@@ -115,6 +115,12 @@ impl Default for ExperimentScale {
 pub struct ScaleRing {
     /// Number of blocks (= processors being emulated).
     pub blocks: usize,
+    /// Virtual cost of one local iteration on the reference machine, in
+    /// seconds. The default (one microsecond, matching the trait default for
+    /// a one-unknown block) measures the executor; the simulated
+    /// oversubscription experiments raise it so compute — not network
+    /// latency — dominates, as in the paper's workloads.
+    pub cost_secs: f64,
 }
 
 impl ScaleRing {
@@ -126,7 +132,17 @@ impl ScaleRing {
     /// Creates a ring of `blocks` scalar blocks.
     pub fn new(blocks: usize) -> Self {
         assert!(blocks > 0, "the ring needs at least one block");
-        Self { blocks }
+        Self {
+            blocks,
+            cost_secs: 1e-6,
+        }
+    }
+
+    /// Sets the virtual per-iteration cost (builder style).
+    pub fn with_cost(mut self, cost_secs: f64) -> Self {
+        assert!(cost_secs > 0.0, "iteration cost must be positive");
+        self.cost_secs = cost_secs;
+        self
     }
 
     /// The exact fixed point every component converges to.
@@ -172,6 +188,10 @@ impl IterativeKernel for ScaleRing {
             values: vec![new],
         }
     }
+
+    fn iteration_cost(&self, _block: usize) -> f64 {
+        self.cost_secs
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +231,8 @@ mod tests {
         assert_eq!(ring.dependencies(0), vec![4, 1]);
         assert_eq!(ring.total_len(), 5);
         assert!((ring.fixed_point() - 1.0 / 0.3).abs() < 1e-12);
+        assert_eq!(ring.iteration_cost(0), 1e-6);
+        assert_eq!(ring.with_cost(2e-3).iteration_cost(0), 2e-3);
         // two blocks collapse to a single shared neighbour, one block to none
         assert_eq!(ScaleRing::new(2).dependencies(0), vec![1]);
         assert!(ScaleRing::new(1).dependencies(0).is_empty());

@@ -15,6 +15,7 @@
 //! reported, not aborted on), and [`RunConfig::validate`] panics with the
 //! same message (what the runtimes use on their internal invariants).
 
+use crate::placement::PlacementPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Synchronous (SISC) or asynchronous (AIAC) execution.
@@ -95,6 +96,10 @@ pub struct RunConfig {
     /// resolves to [`std::thread::available_parallelism`]; the pool is never
     /// larger than the number of blocks. The other back-ends ignore it.
     pub num_workers: Option<usize>,
+    /// How the simulated runtime assigns blocks to hosts when blocks
+    /// outnumber machines (the oversubscribed regime of Figure 3). The
+    /// real-thread back-ends ignore it.
+    pub placement: PlacementPolicy,
 }
 
 impl RunConfig {
@@ -107,6 +112,7 @@ impl RunConfig {
             max_iterations: 100_000,
             seed: 0,
             num_workers: None,
+            placement: PlacementPolicy::RoundRobin,
         }
     }
 
@@ -119,6 +125,7 @@ impl RunConfig {
             max_iterations: 100_000,
             seed: 0,
             num_workers: None,
+            placement: PlacementPolicy::RoundRobin,
         }
     }
 
@@ -144,6 +151,13 @@ impl RunConfig {
     /// (builder style).
     pub fn with_num_workers(mut self, workers: usize) -> Self {
         self.num_workers = Some(workers);
+        self
+    }
+
+    /// Sets the block-to-host placement policy used by the simulated
+    /// back-end (builder style).
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -218,11 +232,25 @@ mod tests {
         let c = RunConfig::asynchronous(1e-6)
             .with_max_iterations(500)
             .with_streak(7)
-            .with_seed(42);
+            .with_seed(42)
+            .with_placement(PlacementPolicy::SpeedWeighted);
         assert_eq!(c.max_iterations, 500);
         assert_eq!(c.convergence_streak, 7);
         assert_eq!(c.seed, 42);
+        assert_eq!(c.placement, PlacementPolicy::SpeedWeighted);
         c.validate();
+    }
+
+    #[test]
+    fn default_placement_is_round_robin() {
+        assert_eq!(
+            RunConfig::asynchronous(1e-6).placement,
+            PlacementPolicy::RoundRobin
+        );
+        assert_eq!(
+            RunConfig::synchronous(1e-6).placement,
+            PlacementPolicy::RoundRobin
+        );
     }
 
     #[test]

@@ -346,22 +346,10 @@ mod tests {
             for r in &residuals {
                 lc.observe(*r);
             }
-            let n = residuals.len();
-            let expected = n >= streak
-                && residuals[n - streak..].iter().all(|r| *r < eps)
-                // once converged it stays converged only if no later residual
-                // broke the streak, which the window rule already captures
-                || {
-                    // check whether any earlier window of length `streak` was
-                    // followed only by small residuals
-                    let mut conv = false;
-                    let mut run = 0usize;
-                    for r in &residuals {
-                        if *r < eps { run += 1; } else { run = 0; }
-                        conv = run >= streak;
-                    }
-                    conv
-                };
+            // Reference rule: converged iff the trailing run of
+            // under-threshold residuals is at least `streak` long (any larger
+            // residual cancels an earlier streak, so only the tail matters).
+            let expected = residuals.iter().rev().take_while(|r| **r < eps).count() >= streak;
             prop_assert_eq!(lc.is_converged(), expected);
         }
     }

@@ -17,6 +17,10 @@
 //!   paper describes in Section 4.3;
 //! * [`convergence`] implements the per-block residual tracking and the
 //!   centralized global convergence detection / halting procedure;
+//! * [`placement`] decides which host every block runs on when blocks
+//!   outnumber machines (round-robin, site-packed or speed-weighted), which
+//!   the simulated runtime combines with per-host CPU scheduling to model
+//!   oversubscribed runs honestly;
 //! * [`runtime::threaded`] executes the kernel with real OS threads — a
 //!   fixed-size worker pool multiplexing all blocks, with newest-wins
 //!   coalescing mailboxes ([`runtime::mailbox`]) for the asynchronous
@@ -38,9 +42,11 @@ pub mod convergence;
 pub mod depgraph;
 pub mod kernel;
 pub mod message;
+pub mod placement;
 pub mod report;
 pub mod runtime;
 
 pub use config::{ConfigError, ExecutionMode, RunConfig};
 pub use kernel::{BlockUpdate, IterativeKernel};
+pub use placement::{Placement, PlacementPolicy};
 pub use report::{RunError, RunReport};

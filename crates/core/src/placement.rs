@@ -1,0 +1,299 @@
+//! Block-to-host placement.
+//!
+//! The paper's decomposition experiments (Figure 3) hinge on what happens
+//! when the problem is cut into more blocks than there are machines. Where a
+//! block lands then matters twice: co-located blocks share the host's cores
+//! (their compute phases are serialised by
+//! [`aiac_netsim::sched::HostScheduler`]), and messages between co-located
+//! blocks skip the network entirely. [`Placement`] computes a deterministic
+//! block → host assignment under one of three [`PlacementPolicy`] rules:
+//!
+//! * **round-robin** — block `b` on host `b mod H`; the historical default,
+//!   spreads neighbouring blocks across hosts;
+//! * **site-packed** — contiguous chunks of blocks on hosts ordered by site,
+//!   keeping neighbouring blocks on the same host/site so their traffic
+//!   stays off the inter-site links;
+//! * **speed-weighted** — hosts receive block counts proportional to their
+//!   relative speed, so a Duron 800 is not asked to do the work of a
+//!   Pentium IV 2.4 (the paper's heterogeneous cluster is exactly this
+//!   situation).
+
+use aiac_netsim::host::HostId;
+use aiac_netsim::topology::GridTopology;
+use serde::{Deserialize, Serialize};
+
+/// How blocks are assigned to hosts when they outnumber them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Block `b` runs on host `b mod num_hosts`.
+    #[default]
+    RoundRobin,
+    /// Contiguous chunks of blocks on hosts ordered by site.
+    SitePacked,
+    /// Per-host block counts proportional to host speed.
+    SpeedWeighted,
+}
+
+impl PlacementPolicy {
+    /// Every policy, in display order.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::SitePacked,
+        PlacementPolicy::SpeedWeighted,
+    ];
+
+    /// Short label used in tables and CLIs.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::SitePacked => "site-packed",
+            PlacementPolicy::SpeedWeighted => "speed-weighted",
+        }
+    }
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for PlacementPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rr" | "round-robin" | "round_robin" => Ok(PlacementPolicy::RoundRobin),
+            "packed" | "site-packed" | "site_packed" => Ok(PlacementPolicy::SitePacked),
+            "speed" | "speed-weighted" | "speed_weighted" => Ok(PlacementPolicy::SpeedWeighted),
+            other => Err(format!(
+                "unknown placement policy {other:?} \
+                 (expected round-robin, site-packed or speed-weighted)"
+            )),
+        }
+    }
+}
+
+/// A concrete block → host assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    policy: PlacementPolicy,
+    assignment: Vec<HostId>,
+    num_hosts: usize,
+}
+
+impl Placement {
+    /// Computes the assignment of `num_blocks` blocks onto the hosts of
+    /// `topology` under `policy`. Deterministic: the same inputs always give
+    /// the same assignment.
+    ///
+    /// # Panics
+    /// Panics if the topology has no hosts.
+    pub fn compute(policy: PlacementPolicy, num_blocks: usize, topology: &GridTopology) -> Self {
+        let hosts = topology.num_hosts();
+        assert!(hosts > 0, "placement needs at least one host");
+        let assignment = match policy {
+            PlacementPolicy::RoundRobin => (0..num_blocks).map(|b| HostId(b % hosts)).collect(),
+            PlacementPolicy::SitePacked => {
+                // Hosts ordered by (site, id); block chunks stay contiguous so
+                // neighbouring blocks share a host, then a site.
+                let mut order: Vec<HostId> = topology.hosts().iter().map(|h| h.id).collect();
+                order.sort_by_key(|id| (topology.host(*id).site, *id));
+                let base = num_blocks / hosts;
+                let extra = num_blocks % hosts;
+                let mut assignment = Vec::with_capacity(num_blocks);
+                for (rank, host) in order.iter().enumerate() {
+                    let count = base + usize::from(rank < extra);
+                    assignment.extend(std::iter::repeat_n(*host, count));
+                }
+                assignment
+            }
+            PlacementPolicy::SpeedWeighted => {
+                // Greedy apportionment: each block goes to the host whose
+                // per-speed load would stay lowest, which converges to counts
+                // proportional to speed (ties break towards the lowest id).
+                let speeds = topology.speed_vector();
+                let mut counts = vec![0usize; hosts];
+                let mut assignment = Vec::with_capacity(num_blocks);
+                for _ in 0..num_blocks {
+                    let host = (0..hosts)
+                        .min_by(|&a, &b| {
+                            let la = (counts[a] + 1) as f64 / speeds[a];
+                            let lb = (counts[b] + 1) as f64 / speeds[b];
+                            la.partial_cmp(&lb).expect("speeds are positive")
+                        })
+                        .expect("at least one host");
+                    counts[host] += 1;
+                    assignment.push(HostId(host));
+                }
+                assignment
+            }
+        };
+        Self {
+            policy,
+            assignment,
+            num_hosts: hosts,
+        }
+    }
+
+    /// The policy that produced this assignment.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Number of blocks placed.
+    pub fn num_blocks(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The host block `block` runs on.
+    ///
+    /// # Panics
+    /// Panics when the block index is out of range.
+    pub fn host_of(&self, block: usize) -> HostId {
+        self.assignment[block]
+    }
+
+    /// Number of blocks placed on each host, in host order.
+    pub fn blocks_per_host(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_hosts];
+        for host in &self.assignment {
+            counts[host.0] += 1;
+        }
+        counts
+    }
+
+    /// Largest number of blocks sharing one host (1 = no oversubscription).
+    pub fn max_colocation(&self) -> usize {
+        self.blocks_per_host().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_robin_matches_the_modulo_rule() {
+        let topo = GridTopology::homogeneous_cluster(4);
+        let p = Placement::compute(PlacementPolicy::RoundRobin, 10, &topo);
+        for b in 0..10 {
+            assert_eq!(p.host_of(b), HostId(b % 4));
+        }
+        assert_eq!(p.blocks_per_host(), vec![3, 3, 2, 2]);
+        assert_eq!(p.max_colocation(), 3);
+    }
+
+    #[test]
+    fn site_packed_keeps_blocks_contiguous_and_grouped_by_site() {
+        // 6 hosts over 3 sites (round-robin host→site in the preset).
+        let topo = GridTopology::ethernet_3_sites(6);
+        let p = Placement::compute(PlacementPolicy::SitePacked, 12, &topo);
+        // Every host gets exactly two consecutive blocks.
+        assert_eq!(p.blocks_per_host(), vec![2; 6]);
+        for pair in 0..6 {
+            assert_eq!(p.host_of(2 * pair), p.host_of(2 * pair + 1));
+        }
+        // Consecutive chunks never jump back to an earlier site.
+        let mut last_site = 0;
+        for b in 0..12 {
+            let site = topo.host(p.host_of(b)).site.0;
+            assert!(site >= last_site, "block {b} went back to site {site}");
+            last_site = site;
+        }
+    }
+
+    #[test]
+    fn speed_weighted_gives_fast_hosts_more_blocks() {
+        let topo = GridTopology::local_hetero_cluster(6);
+        let p = Placement::compute(PlacementPolicy::SpeedWeighted, 24, &topo);
+        let counts = p.blocks_per_host();
+        let speeds = topo.speed_vector();
+        // The P4 2.4 hosts (speed 1.0) must carry strictly more blocks than
+        // the Duron hosts (speed 1/3), roughly in proportion.
+        for h in 0..6 {
+            for g in 0..6 {
+                if speeds[h] > speeds[g] {
+                    assert!(
+                        counts[h] >= counts[g],
+                        "slower host {g} got more blocks: {counts:?}"
+                    );
+                }
+            }
+        }
+        let duron = counts[0];
+        let p4 = counts[2];
+        assert!(p4 >= 2 * duron, "expected ~3x ratio, got {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 24);
+    }
+
+    #[test]
+    fn fewer_blocks_than_hosts_prefers_the_fast_hosts() {
+        let topo = GridTopology::local_hetero_cluster(6);
+        let p = Placement::compute(PlacementPolicy::SpeedWeighted, 2, &topo);
+        // Hosts 2 and 5 are the P4 2.4 machines.
+        assert_eq!(p.host_of(0), HostId(2));
+        assert_eq!(p.host_of(1), HostId(5));
+    }
+
+    #[test]
+    fn policy_labels_round_trip_through_fromstr() {
+        for policy in PlacementPolicy::ALL {
+            let parsed: PlacementPolicy = policy.label().parse().unwrap();
+            assert_eq!(parsed, policy);
+        }
+        assert_eq!(
+            "rr".parse::<PlacementPolicy>().unwrap(),
+            PlacementPolicy::RoundRobin
+        );
+        assert_eq!(
+            "speed".parse::<PlacementPolicy>().unwrap(),
+            PlacementPolicy::SpeedWeighted
+        );
+        assert!("nope".parse::<PlacementPolicy>().is_err());
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::RoundRobin);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Every policy places every block on a valid host and never leaves a
+        /// host overloaded by more than the unavoidable ceiling (for the
+        /// balanced policies on a homogeneous platform).
+        #[test]
+        fn prop_placements_are_valid_and_balanced(
+            blocks in 1usize..96,
+            hosts in 1usize..12,
+        ) {
+            let topo = GridTopology::homogeneous_cluster(hosts);
+            let ceiling = blocks.div_ceil(hosts);
+            for policy in PlacementPolicy::ALL {
+                let p = Placement::compute(policy, blocks, &topo);
+                prop_assert_eq!(p.num_blocks(), blocks);
+                for b in 0..blocks {
+                    prop_assert!(p.host_of(b).0 < hosts);
+                }
+                prop_assert_eq!(p.blocks_per_host().iter().sum::<usize>(), blocks);
+                // On equal-speed hosts every policy degenerates to a balanced
+                // split.
+                prop_assert!(
+                    p.max_colocation() <= ceiling,
+                    "{}: colocation {} > ceiling {}",
+                    policy.label(), p.max_colocation(), ceiling
+                );
+            }
+        }
+
+        /// Placements are deterministic.
+        #[test]
+        fn prop_placements_are_deterministic(blocks in 1usize..64, hosts in 1usize..10) {
+            let topo = GridTopology::local_hetero_cluster(hosts);
+            for policy in PlacementPolicy::ALL {
+                let a = Placement::compute(policy, blocks, &topo);
+                let b = Placement::compute(policy, blocks, &topo);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

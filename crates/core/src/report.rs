@@ -80,9 +80,21 @@ pub struct RunReport {
     /// executor this is the mailbox high-water mark, bounded by the
     /// dependency-edge count; back-ends without mailboxes report 0.
     pub peak_mailbox_occupancy: u64,
-    /// Whether the run stopped because global convergence was detected
-    /// (`false` = iteration limit hit).
+    /// Total virtual seconds that compute phases and message receptions
+    /// spent waiting for a free CPU core on their host. Non-zero only for
+    /// the simulated back-end when blocks outnumber cores (oversubscribed
+    /// placements); the real back-ends report 0.
+    pub cpu_queue_secs: f64,
+    /// Whether the run stopped because global convergence was detected *and*
+    /// the final assembled state actually satisfied the threshold
+    /// (`false` = iteration limit hit, or a premature stop — see
+    /// [`RunReport::premature_stop`]).
     pub converged: bool,
+    /// True when the centralized detector broadcast the stop order while a
+    /// de-convergence report was still in flight: the run halted with a
+    /// final residual at or above ε. Such a run is *not* reported as
+    /// converged.
+    pub premature_stop: bool,
     /// The assembled solution vector (concatenation of the blocks).
     pub solution: Vec<f64>,
     /// Residual of the worst block when the run stopped.
@@ -147,7 +159,9 @@ mod tests {
             data_bytes: 1_000,
             coalesced_messages: 0,
             peak_mailbox_occupancy: 0,
+            cpu_queue_secs: 0.0,
             converged: true,
+            premature_stop: false,
             solution: vec![0.0],
             final_residual: 1e-9,
         }

@@ -72,7 +72,9 @@ impl SequentialRuntime {
             data_bytes: 0,
             coalesced_messages: 0,
             peak_mailbox_occupancy: 0,
+            cpu_queue_secs: 0.0,
             converged,
+            premature_stop: false,
             solution: kernel.assemble(&values),
             final_residual: worst_residual,
         }

@@ -6,16 +6,29 @@
 //! *virtual time* over an [`aiac_netsim::topology::GridTopology`] and an
 //! [`aiac_envs::env::Environment`] model:
 //!
-//! * compute phases take `iteration_cost / host speed` virtual seconds;
+//! * blocks are assigned to hosts by a [`Placement`] policy (round-robin,
+//!   site-packed or speed-weighted, selectable through
+//!   [`RunConfig::placement`] or [`SimulatedRuntime::with_placement`]);
+//! * compute phases take `iteration_cost / host speed` virtual seconds *and
+//!   occupy a CPU core*: a host has finitely many cores
+//!   ([`aiac_netsim::host::Host::cores`]), so when more blocks than cores
+//!   share a machine their compute phases are serialised FIFO by the
+//!   [`aiac_netsim::sched::HostScheduler`] instead of all running at full
+//!   speed — this is what makes oversubscribed timings honest;
 //! * data messages pay the environment's packing cost (serialised according
 //!   to the Table 4 thread configuration), the network transfer time with
 //!   FIFO contention ([`aiac_netsim::network::Network`]) and the receiver's
-//!   dispatch cost (dedicated pool or on-demand thread);
+//!   dispatch cost; dedicated receiving-thread pools are a *per-host*
+//!   resource shared by every co-located block, so reception contends
+//!   realistically too;
 //! * the synchronous mode inserts the global exchange and barrier of Figure 1
 //!   between iterations;
 //! * the asynchronous mode runs every processor at its own pace and stops it
 //!   only when the centralized detector's stop message reaches it, exactly as
-//!   in Section 4.3.
+//!   in Section 4.3 — and the final report is verified against the assembled
+//!   residual, so a stop decided while a de-convergence report was in flight
+//!   is flagged as [`RunReport::premature_stop`] rather than declared
+//!   converged.
 //!
 //! The whole simulation is deterministic, which is what lets the benchmark
 //! harness regenerate Tables 2–3 and Figure 3 reproducibly.
@@ -25,11 +38,13 @@ use crate::config::{ExecutionMode, RunConfig};
 use crate::convergence::{GlobalDetector, LocalConvergence};
 use crate::depgraph::DependencyGraph;
 use crate::kernel::IterativeKernel;
+use crate::placement::{Placement, PlacementPolicy};
 use crate::report::RunReport;
 use aiac_envs::env::{EnvKind, Environment};
 use aiac_envs::threads::{ProblemKind, ReceiveDiscipline, ThreadConfig};
 use aiac_netsim::host::HostId;
 use aiac_netsim::network::{Network, NetworkStats};
+use aiac_netsim::sched::{HostLoad, HostScheduler};
 use aiac_netsim::sim::Simulator;
 use aiac_netsim::time::SimTime;
 use aiac_netsim::topology::GridTopology;
@@ -39,7 +54,8 @@ use aiac_netsim::trace::{Activity, ExecutionTrace};
 const CONTROL_BYTES: u64 = 16;
 
 /// Result of a simulated run: the usual report plus simulation-only
-/// information (virtual time, execution trace, network statistics).
+/// information (virtual time, execution trace, network statistics, per-host
+/// CPU loads and the placement that was used).
 #[derive(Debug, Clone)]
 pub struct SimulationOutcome {
     /// The standard run report; `elapsed_secs` holds the *virtual* time.
@@ -50,6 +66,11 @@ pub struct SimulationOutcome {
     pub trace: Option<ExecutionTrace>,
     /// Network transfer statistics.
     pub network: NetworkStats,
+    /// Per-host CPU load over the run: busy time, core-queueing delay, job
+    /// count and utilization, in host order.
+    pub host_loads: Vec<HostLoad>,
+    /// The block → host assignment the run executed under.
+    pub placement: Placement,
 }
 
 /// Virtual-time executor over a simulated grid.
@@ -58,6 +79,7 @@ pub struct SimulatedRuntime {
     env: Box<dyn Environment>,
     problem: ProblemKind,
     record_trace: bool,
+    placement: Option<PlacementPolicy>,
 }
 
 impl SimulatedRuntime {
@@ -69,6 +91,7 @@ impl SimulatedRuntime {
             env: env.build(),
             problem,
             record_trace: false,
+            placement: None,
         }
     }
 
@@ -77,6 +100,14 @@ impl SimulatedRuntime {
     /// count).
     pub fn with_trace(mut self, enable: bool) -> Self {
         self.record_trace = enable;
+        self
+    }
+
+    /// Forces a placement policy, overriding whatever the [`RunConfig`]
+    /// selects. Useful when the same configuration is swept over several
+    /// policies.
+    pub fn with_placement(mut self, policy: PlacementPolicy) -> Self {
+        self.placement = Some(policy);
         self
     }
 
@@ -90,10 +121,10 @@ impl SimulatedRuntime {
         &self.topology
     }
 
-    /// Host a block is placed on (blocks are assigned round-robin when there
-    /// are more blocks than hosts; the usual case is one block per host).
-    pub fn host_of(&self, block: usize) -> HostId {
-        HostId(block % self.topology.num_hosts())
+    /// The placement policy a run with `config` would use (the runtime-level
+    /// override wins over the configuration).
+    fn effective_policy(&self, config: &RunConfig) -> PlacementPolicy {
+        self.placement.unwrap_or(config.placement)
     }
 
     /// Runs the kernel and returns the simulation outcome.
@@ -132,7 +163,9 @@ impl SimulatedRuntime {
     ) -> SimulationOutcome {
         let m = kernel.num_blocks();
         let graph = DependencyGraph::from_kernel(kernel);
+        let placement = Placement::compute(self.effective_policy(config), m, &self.topology);
         let mut network = Network::new(self.topology.clone());
+        let mut cpu = HostScheduler::for_topology(&self.topology);
         let mut trace = self.record_trace.then(|| ExecutionTrace::new(m));
 
         let mut states: Vec<BlockState> = (0..m).map(|b| BlockState::new(kernel, b)).collect();
@@ -146,17 +179,27 @@ impl SimulatedRuntime {
 
         while iterations < config.max_iterations as u64 {
             // --- compute phase -------------------------------------------------
+            // Every block's update is a job on its host's cores: co-located
+            // blocks beyond the core count run one after the other, which is
+            // where the oversubscription penalty of Figure 3 comes from.
             let compute_end: Vec<SimTime> = (0..m)
                 .map(|b| {
-                    let host = self.topology.host(self.host_of(b));
-                    iteration_start + host.compute_time(kernel.iteration_cost(b))
+                    let host_id = placement.host_of(b);
+                    let host = self.topology.host(host_id);
+                    let slot = cpu.schedule(
+                        host_id,
+                        iteration_start,
+                        host.compute_time(kernel.iteration_cost(b)),
+                    );
+                    if let Some(tr) = trace.as_mut() {
+                        if slot.start > iteration_start {
+                            tr.record(b, iteration_start, slot.start, Activity::Idle);
+                        }
+                        tr.record(b, slot.start, slot.end, Activity::Compute);
+                    }
+                    slot.end
                 })
                 .collect();
-            if let Some(tr) = trace.as_mut() {
-                for (b, &end) in compute_end.iter().enumerate() {
-                    tr.record(b, iteration_start, end, Activity::Compute);
-                }
-            }
 
             // Numerically, a synchronous iteration is a Jacobi sweep: all blocks
             // read the values of the previous iteration.
@@ -173,33 +216,64 @@ impl SimulatedRuntime {
             iterations += 1;
 
             // --- global exchange ------------------------------------------------
-            // Every block sends its new values to its dependants; the packing
-            // costs of a mono-threaded environment are serialised.
+            // Every block sends its new values to its dependants. Packing and
+            // unpacking are CPU work, so they go through the host scheduler
+            // too. The synchronous baseline is mono-threaded: once a block
+            // gets a core it packs all its outgoing messages back to back,
+            // modelled as one batched job so per-host submissions stay in
+            // chronological order (the scheduler's FIFO precondition).
             let mut barrier_time = compute_end
                 .iter()
                 .copied()
                 .fold(SimTime::ZERO, SimTime::max);
-            for (b, &block_end) in compute_end.iter().enumerate() {
-                let src = self.host_of(b);
-                let mut send_clock = block_end;
-                for &dst_block in graph.out_neighbours(b).iter() {
-                    let dst = self.host_of(dst_block);
-                    let payload = kernel.message_bytes(b, dst_block) + CONTROL_BYTES;
-                    let cost = self.env.message_cost(payload);
-                    // The synchronous baseline is mono-threaded: the packing of
-                    // every outgoing message is serialised on the single
-                    // program thread.
+            // Packing jobs are admitted in readiness order (on multi-core or
+            // heterogeneous-cost hosts, compute phases do not finish in block
+            // order), and all sends of one iteration are admitted before any
+            // reception: the mono-threaded exchange sends first and only then
+            // services arrivals, so a host's own sends take priority over
+            // unpacking within the iteration.
+            let mut pack_order: Vec<usize> = (0..m)
+                .filter(|&b| !graph.out_neighbours(b).is_empty())
+                .collect();
+            pack_order.sort_by_key(|&b| compute_end[b]);
+            let mut unpack_jobs: Vec<(SimTime, HostId, SimTime)> = Vec::new();
+            for b in pack_order {
+                let block_end = compute_end[b];
+                let src = placement.host_of(b);
+                let messages: Vec<_> = graph
+                    .out_neighbours(b)
+                    .iter()
+                    .map(|&dst_block| {
+                        let payload = kernel.message_bytes(b, dst_block) + CONTROL_BYTES;
+                        (dst_block, payload, self.env.message_cost(payload))
+                    })
+                    .collect();
+                let total_pack = messages
+                    .iter()
+                    .fold(SimTime::ZERO, |acc, (_, _, cost)| acc + cost.sender_cpu);
+                let pack = cpu.schedule(src, block_end, total_pack);
+                let mut send_clock = pack.start;
+                for (dst_block, payload, cost) in messages {
+                    let dst = placement.host_of(dst_block);
                     send_clock += cost.sender_cpu;
                     let arrival = if src == dst {
                         send_clock
                     } else {
                         network.transfer(src, dst, payload, cost.protocol_bytes, send_clock)
                     };
-                    let handled = arrival + cost.dispatch_latency + cost.receiver_cpu;
-                    barrier_time = barrier_time.max(handled);
+                    unpack_jobs.push((arrival + cost.dispatch_latency, dst, cost.receiver_cpu));
                     data_messages += 1;
                     data_bytes += payload;
                 }
+            }
+            // Receptions are admitted in arrival order (the sort is stable,
+            // so simultaneous arrivals keep a deterministic order): a core
+            // must never sit idle in front of an already-arrived message
+            // because a later-arriving one was submitted first.
+            unpack_jobs.sort_by_key(|job| job.0);
+            for (ready, dst, handle_cost) in unpack_jobs {
+                let unpack = cpu.schedule(dst, ready, handle_cost);
+                barrier_time = barrier_time.max(unpack.end);
             }
 
             // --- synchronisation points -----------------------------------------
@@ -208,13 +282,13 @@ impl SimulatedRuntime {
             // kernel says how many such collectives one synchronous iteration
             // needs (one for a plain fixed-point sweep; many for the paper's
             // globally-synchronised Newton/GMRES baseline).
-            let coord = self.host_of(0);
+            let coord = placement.host_of(0);
             let mut next_start = barrier_time;
             for _ in 0..kernel.sync_collectives_per_iteration().max(1) {
                 let round_start = next_start;
                 let mut verdict_time = round_start;
                 for b in 1..m {
-                    let src = self.host_of(b);
+                    let src = placement.host_of(b);
                     let cost = self.env.message_cost(CONTROL_BYTES);
                     let arrival = if src == coord {
                         round_start + cost.sender_cpu + cost.receiver_cpu
@@ -231,7 +305,7 @@ impl SimulatedRuntime {
                     control_messages += 1;
                 }
                 for b in 1..m {
-                    let dst = self.host_of(b);
+                    let dst = placement.host_of(b);
                     let cost = self.env.message_cost(CONTROL_BYTES);
                     let arrival = if dst == coord {
                         verdict_time + cost.sender_cpu + cost.receiver_cpu
@@ -273,7 +347,9 @@ impl SimulatedRuntime {
             data_bytes,
             coalesced_messages: 0,
             peak_mailbox_occupancy: 0,
+            cpu_queue_secs: cpu.total_queue_secs(),
             converged,
+            premature_stop: false,
             solution: kernel.assemble(&values),
             final_residual: worst_residual,
         };
@@ -281,6 +357,8 @@ impl SimulatedRuntime {
             sim_time: iteration_start,
             trace,
             network: network.stats(),
+            host_loads: cpu.loads(iteration_start),
+            placement,
             report,
         }
     }
@@ -295,257 +373,87 @@ impl SimulatedRuntime {
         config: &RunConfig,
     ) -> SimulationOutcome {
         let m = kernel.num_blocks();
-        let graph = DependencyGraph::from_kernel(kernel);
-        let mut network = Network::new(self.topology.clone());
         let thread_cfg = self.env.thread_config(self.problem, m);
-        let mut trace = self.record_trace.then(|| ExecutionTrace::new(m));
-
-        let mut procs: Vec<ProcSim> = (0..m)
-            .map(|b| ProcSim::new(kernel, b, m, config, &thread_cfg))
-            .collect();
-        let mut detector = GlobalDetector::new(m);
-        let mut sim: Simulator<SimEvent> = Simulator::new();
-        let mut stats = Stats::default();
-
-        for b in 0..m {
-            sim.schedule_at(SimTime::ZERO, SimEvent::Iterate { block: b });
-        }
-
-        while let Some(event) = sim.next_event() {
-            let now = event.time;
-            match event.payload {
-                SimEvent::Iterate { block } => {
-                    self.handle_iterate(
-                        kernel,
-                        config,
-                        &graph,
-                        &thread_cfg,
-                        &mut network,
-                        &mut sim,
-                        &mut procs,
-                        &mut stats,
-                        trace.as_mut(),
-                        block,
-                        now,
-                    );
-                }
-                SimEvent::DeliverData {
-                    to,
-                    from,
-                    iteration,
-                    values,
-                } => {
-                    // Data arriving after the processor stopped is simply dropped,
-                    // like a message reaching a terminated process.
-                    if !procs[to].stopped && procs[to].state.incorporate(from, iteration, values) {
-                        procs[to].fresh_since_last = true;
-                    }
-                }
-                SimEvent::DeliverState { from, converged } => {
-                    if detector.report(from, converged) {
-                        // Global convergence: broadcast the stop order.
-                        let coord = self.host_of(0);
-                        for b in 0..m {
-                            let dst = self.host_of(b);
-                            let cost = self.env.message_cost(CONTROL_BYTES);
-                            let arrival = if dst == coord {
-                                now + cost.sender_cpu + cost.receiver_cpu
-                            } else {
-                                network.transfer(
-                                    coord,
-                                    dst,
-                                    CONTROL_BYTES,
-                                    cost.protocol_bytes,
-                                    now,
-                                ) + cost.receiver_cpu
-                            };
-                            stats.control_messages += 1;
-                            sim.schedule_at(arrival, SimEvent::DeliverStop { to: b });
-                        }
-                    }
-                }
-                SimEvent::DeliverStop { to } => {
-                    let proc = &mut procs[to];
-                    if !proc.stopped {
-                        proc.stopped = true;
-                        // The processor leaves the iterative process as soon as
-                        // its in-flight iteration completes.
-                        proc.stop_time = proc.busy_until.max(now);
-                    }
-                }
+        let placement = Placement::compute(self.effective_policy(config), m, &self.topology);
+        // The Table-4 dedicated receiving threads are a per-host resource:
+        // every block placed on a machine shares its pool. On-demand schemes
+        // spawn a handler per message instead and are modelled as an additive
+        // cost below.
+        let rx_pools = match thread_cfg.receive {
+            ReceiveDiscipline::Dedicated(n) => {
+                Some(HostScheduler::uniform(self.topology.num_hosts(), n.max(1)))
             }
-            if procs.iter().all(|p| p.stopped) {
-                break;
-            }
-        }
+            ReceiveDiscipline::OnDemand { .. } => None,
+        };
+        let mut engine = AsyncEngine {
+            kernel,
+            config,
+            env: self.env.as_ref(),
+            topology: &self.topology,
+            graph: DependencyGraph::from_kernel(kernel),
+            thread_cfg,
+            placement,
+            network: Network::new(self.topology.clone()),
+            sim: Simulator::new(),
+            procs: (0..m).map(|b| ProcSim::new(kernel, b, m, config)).collect(),
+            detector: GlobalDetector::new(m),
+            stats: Stats::default(),
+            trace: self.record_trace.then(|| ExecutionTrace::new(m)),
+            cpu: HostScheduler::for_topology(&self.topology),
+            rx_pools,
+        };
+        engine.run();
 
-        let end_time = procs
+        let end_time = engine
+            .procs
             .iter()
             .map(|p| p.stop_time.max(p.busy_until))
             .fold(SimTime::ZERO, SimTime::max);
-        let values: Vec<Vec<f64>> = procs.iter().map(|p| p.state.values.clone()).collect();
-        let worst_residual = procs.iter().map(|p| p.state.residual).fold(0.0, f64::max);
+        let values: Vec<Vec<f64>> = engine
+            .procs
+            .iter()
+            .map(|p| p.state.values.clone())
+            .collect();
+        // Honesty check on the stop decision: the centralized detector's
+        // verdict is final even when a de-convergence report is still in
+        // flight, so the assembled residual is verified here. A decided run
+        // whose final residual is at or above ε stopped prematurely and must
+        // not claim convergence.
+        let worst_residual = engine
+            .procs
+            .iter()
+            .map(|p| p.reported_residual)
+            .fold(0.0, f64::max);
+        let decided = engine.detector.is_decided();
+        let premature = decided && worst_residual >= config.epsilon;
+        let cpu_queue_secs = engine.cpu.total_queue_secs()
+            + engine
+                .rx_pools
+                .as_ref()
+                .map_or(0.0, |rx| rx.total_queue_secs());
         let report = RunReport {
             mode: ExecutionMode::Asynchronous,
             backend: self.env.kind().label().to_string(),
             elapsed_secs: end_time.as_secs(),
-            iterations: procs.iter().map(|p| p.state.iteration).collect(),
-            data_messages: stats.data_messages,
-            control_messages: stats.control_messages,
-            data_bytes: stats.data_bytes,
+            iterations: engine.procs.iter().map(|p| p.state.iteration).collect(),
+            data_messages: engine.stats.data_messages,
+            control_messages: engine.stats.control_messages,
+            data_bytes: engine.stats.data_bytes,
             coalesced_messages: 0,
             peak_mailbox_occupancy: 0,
-            converged: detector.is_decided(),
+            cpu_queue_secs,
+            converged: decided && !premature,
+            premature_stop: premature,
             solution: kernel.assemble(&values),
             final_residual: worst_residual,
         };
         SimulationOutcome {
             sim_time: end_time,
-            trace,
-            network: network.stats(),
+            trace: engine.trace,
+            network: engine.network.stats(),
+            host_loads: engine.cpu.loads(end_time),
+            placement: engine.placement,
             report,
-        }
-    }
-
-    /// Processes the start of one asynchronous local iteration.
-    #[allow(clippy::too_many_arguments)]
-    fn handle_iterate(
-        &self,
-        kernel: &dyn IterativeKernel,
-        config: &RunConfig,
-        graph: &DependencyGraph,
-        thread_cfg: &ThreadConfig,
-        network: &mut Network,
-        sim: &mut Simulator<SimEvent>,
-        procs: &mut [ProcSim],
-        stats: &mut Stats,
-        mut trace: Option<&mut ExecutionTrace>,
-        block: usize,
-        now: SimTime,
-    ) {
-        if procs[block].stopped {
-            return;
-        }
-        let host = self.topology.host(self.host_of(block));
-        let compute_end = now + host.compute_time(kernel.iteration_cost(block));
-        if let Some(tr) = trace.as_deref_mut() {
-            tr.record(block, now, compute_end, Activity::Compute);
-        }
-
-        let fresh_data = procs[block].fresh_since_last;
-        procs[block].fresh_since_last = false;
-        let has_dependencies = !graph.in_neighbours(block).is_empty();
-
-        // Numeric update using whatever dependency data has been delivered so
-        // far (the asynchronous model of Algorithm 1). When nothing new has
-        // arrived and the block already sits at its local fixed point, the
-        // update would reproduce the same values bit for bit, so the (real)
-        // numerical work is skipped while the virtual iteration still takes
-        // place — the simulated machine keeps burning its cycles either way.
-        if !fresh_data && procs[block].state.residual < config.epsilon * 1e-3 {
-            procs[block].state.iteration += 1;
-        } else {
-            procs[block].state.iterate(kernel);
-        }
-        procs[block].busy_until = compute_end;
-
-        // Local convergence is judged on the cumulative drift since the last
-        // window anchor (see `BlockState::drift_from_anchor`); state messages
-        // are sent only on change, and quiet iterations on stale data do not
-        // advance the streak.
-        let drift = kernel.residual_between(
-            block,
-            &procs[block].state.values,
-            procs[block].state.anchor(),
-        );
-        if drift >= config.epsilon {
-            procs[block].state.reset_anchor();
-        }
-        if procs[block]
-            .local
-            .observe_gated(drift, fresh_data || !has_dependencies)
-        {
-            let converged = procs[block].local.is_converged();
-            let coord = self.host_of(0);
-            let src = self.host_of(block);
-            let cost = self.env.message_cost(CONTROL_BYTES);
-            let arrival = if src == coord {
-                compute_end + cost.sender_cpu + cost.receiver_cpu
-            } else {
-                network.transfer(src, coord, CONTROL_BYTES, cost.protocol_bytes, compute_end)
-                    + cost.receiver_cpu
-            };
-            stats.control_messages += 1;
-            sim.schedule_at(
-                arrival,
-                SimEvent::DeliverState {
-                    from: block,
-                    converged,
-                },
-            );
-        }
-
-        // Asynchronous sends to every dependant. A send to a destination is
-        // skipped while the previous transfer to that destination is still in
-        // progress ("data are actually sent only if any previous sending of
-        // the same data to the same destination is terminated").
-        let mut sends_issued = 0usize;
-        for &dst_block in graph.out_neighbours(block) {
-            if compute_end < procs[block].send_busy_until[dst_block] {
-                continue;
-            }
-            let src = self.host_of(block);
-            let dst = self.host_of(dst_block);
-            let payload = kernel.message_bytes(block, dst_block) + CONTROL_BYTES;
-            let cost = self.env.message_cost(payload);
-            let pack_start =
-                compute_end + thread_cfg.send_queue_delay(sends_issued, cost.sender_cpu);
-            let pack_done = pack_start + cost.sender_cpu;
-            if let Some(tr) = trace.as_deref_mut() {
-                tr.record(block, pack_start, pack_done, Activity::Send);
-            }
-            let wire_arrival = if src == dst {
-                pack_done
-            } else {
-                network.transfer(src, dst, payload, cost.protocol_bytes, pack_done)
-            };
-            // Receiver-side dispatch: dedicated pools serialise concurrent
-            // arrivals, on-demand threads pay a spawn cost.
-            let delivered = {
-                let after_dispatch = wire_arrival + cost.dispatch_latency;
-                match thread_cfg.receive {
-                    ReceiveDiscipline::Dedicated(_) => {
-                        let start = procs[dst_block].next_receive_slot(after_dispatch);
-                        let done = start + cost.receiver_cpu;
-                        procs[dst_block].occupy_receive_slot(done);
-                        done
-                    }
-                    ReceiveDiscipline::OnDemand { spawn_cost } => {
-                        after_dispatch + spawn_cost + cost.receiver_cpu
-                    }
-                }
-            };
-            procs[block].send_busy_until[dst_block] = wire_arrival;
-            stats.data_messages += 1;
-            stats.data_bytes += payload;
-            sends_issued += 1;
-            sim.schedule_at(
-                delivered,
-                SimEvent::DeliverData {
-                    to: dst_block,
-                    from: block,
-                    iteration: procs[block].state.iteration,
-                    values: procs[block].state.values.clone(),
-                },
-            );
-        }
-
-        // Next iteration, unless the limit was reached.
-        if procs[block].state.iteration >= config.max_iterations as u64 {
-            procs[block].stopped = true;
-            procs[block].stop_time = compute_end;
-        } else {
-            sim.schedule_at(compute_end, SimEvent::Iterate { block });
         }
     }
 }
@@ -561,6 +469,17 @@ enum SimEvent {
         iteration: u64,
         values: Vec<f64>,
     },
+    /// A data message has crossed the network and now queues for one of the
+    /// destination host's dedicated receiving threads (dedicated disciplines
+    /// only; on-demand receptions go straight to [`SimEvent::DeliverData`]).
+    ArriveData {
+        to: usize,
+        from: usize,
+        iteration: u64,
+        values: Vec<f64>,
+        /// Receiver-side CPU cost of unpacking this message.
+        handle_cost: SimTime,
+    },
     /// A local-convergence state report reaches the central detector.
     DeliverState { from: usize, converged: bool },
     /// The stop order reaches a block.
@@ -573,6 +492,285 @@ struct Stats {
     data_messages: u64,
     control_messages: u64,
     data_bytes: u64,
+}
+
+/// All the mutable state of one asynchronous simulation, so the event
+/// handlers can be methods instead of free functions threading a dozen
+/// parameters around.
+struct AsyncEngine<'a> {
+    kernel: &'a dyn IterativeKernel,
+    config: &'a RunConfig,
+    env: &'a dyn Environment,
+    topology: &'a GridTopology,
+    graph: DependencyGraph,
+    thread_cfg: ThreadConfig,
+    placement: Placement,
+    network: Network,
+    sim: Simulator<SimEvent>,
+    procs: Vec<ProcSim>,
+    detector: GlobalDetector,
+    stats: Stats,
+    trace: Option<ExecutionTrace>,
+    /// Compute cores of every host.
+    cpu: HostScheduler,
+    /// Per-host dedicated receiving-thread pools (None = on-demand threads).
+    rx_pools: Option<HostScheduler>,
+}
+
+impl AsyncEngine<'_> {
+    /// Runs the event loop to completion.
+    fn run(&mut self) {
+        for b in 0..self.procs.len() {
+            self.sim
+                .schedule_at(SimTime::ZERO, SimEvent::Iterate { block: b });
+        }
+        while let Some(event) = self.sim.next_event() {
+            let now = event.time;
+            match event.payload {
+                SimEvent::Iterate { block } => self.handle_iterate(block, now),
+                SimEvent::ArriveData {
+                    to,
+                    from,
+                    iteration,
+                    values,
+                    handle_cost,
+                } => {
+                    // A message for a stopped processor is dropped without
+                    // occupying a receiving thread.
+                    if !self.procs[to].stopped {
+                        let dst = self.placement.host_of(to);
+                        let pool = self.rx_pools.as_mut().expect("dedicated pools exist");
+                        let slot = pool.schedule(dst, now, handle_cost);
+                        self.sim.schedule_at(
+                            slot.end,
+                            SimEvent::DeliverData {
+                                to,
+                                from,
+                                iteration,
+                                values,
+                            },
+                        );
+                    }
+                }
+                SimEvent::DeliverData {
+                    to,
+                    from,
+                    iteration,
+                    values,
+                } => {
+                    // Data arriving after the processor stopped is simply
+                    // dropped, like a message reaching a terminated process.
+                    if !self.procs[to].stopped
+                        && self.procs[to].state.incorporate(from, iteration, values)
+                    {
+                        self.procs[to].fresh_since_last = true;
+                    }
+                }
+                SimEvent::DeliverState { from, converged } => {
+                    if self.detector.report(from, converged) {
+                        self.broadcast_stop(now);
+                    }
+                }
+                SimEvent::DeliverStop { to } => {
+                    let proc = &mut self.procs[to];
+                    if !proc.stopped {
+                        proc.stopped = true;
+                        // The processor leaves the iterative process as soon
+                        // as its in-flight iteration completes.
+                        proc.stop_time = proc.busy_until.max(now);
+                    }
+                }
+            }
+            if self.procs.iter().all(|p| p.stopped) {
+                break;
+            }
+        }
+    }
+
+    /// Global convergence was decided: send the stop order to every block.
+    fn broadcast_stop(&mut self, now: SimTime) {
+        let coord = self.placement.host_of(0);
+        for b in 0..self.procs.len() {
+            let dst = self.placement.host_of(b);
+            let cost = self.env.message_cost(CONTROL_BYTES);
+            let arrival = if dst == coord {
+                now + cost.sender_cpu + cost.receiver_cpu
+            } else {
+                self.network
+                    .transfer(coord, dst, CONTROL_BYTES, cost.protocol_bytes, now)
+                    + cost.receiver_cpu
+            };
+            self.stats.control_messages += 1;
+            self.sim
+                .schedule_at(arrival, SimEvent::DeliverStop { to: b });
+        }
+    }
+
+    /// Processes the start of one asynchronous local iteration.
+    fn handle_iterate(&mut self, block: usize, now: SimTime) {
+        if self.procs[block].stopped {
+            return;
+        }
+        let kernel = self.kernel;
+        let host_id = self.placement.host_of(block);
+        let host = self.topology.host(host_id);
+        // The iteration is a job on the host's cores: when co-located blocks
+        // outnumber them it waits for a core, which is the whole point of the
+        // per-host scheduling layer.
+        let slot = self.cpu.schedule(
+            host_id,
+            now,
+            host.compute_time(kernel.iteration_cost(block)),
+        );
+        let compute_end = slot.end;
+        if let Some(tr) = self.trace.as_mut() {
+            if slot.start > now {
+                tr.record(block, now, slot.start, Activity::Idle);
+            }
+            tr.record(block, slot.start, slot.end, Activity::Compute);
+        }
+
+        let fresh_data = self.procs[block].fresh_since_last;
+        self.procs[block].fresh_since_last = false;
+        let has_dependencies = !self.graph.in_neighbours(block).is_empty();
+
+        // Numeric update using whatever dependency data has been delivered so
+        // far (the asynchronous model of Algorithm 1). When nothing new has
+        // arrived and the block already sits at its local fixed point, the
+        // update would reproduce the same values bit for bit, so the (real)
+        // numerical work is skipped while the virtual iteration still takes
+        // place — the simulated machine keeps burning its cycles either way.
+        let skipped = !fresh_data && self.procs[block].state.residual < self.config.epsilon * 1e-3;
+        if skipped {
+            self.procs[block].state.iteration += 1;
+        } else {
+            self.procs[block].state.iterate(kernel);
+        }
+        self.procs[block].busy_until = compute_end;
+
+        // Local convergence is judged on the cumulative drift since the last
+        // window anchor (see `BlockState::drift_from_anchor`); state messages
+        // are sent only on change, and quiet iterations on stale data do not
+        // advance the streak.
+        let drift = kernel.residual_between(
+            block,
+            &self.procs[block].state.values,
+            self.procs[block].state.anchor(),
+        );
+        // The residual the block would report if asked right now: skipped
+        // iterations carry the true cumulative drift instead of the (stale)
+        // residual of the last real update.
+        self.procs[block].reported_residual = if skipped {
+            drift
+        } else {
+            self.procs[block].state.residual
+        };
+        if drift >= self.config.epsilon {
+            self.procs[block].state.reset_anchor();
+        }
+        if self.procs[block]
+            .local
+            .observe_gated(drift, fresh_data || !has_dependencies)
+        {
+            let converged = self.procs[block].local.is_converged();
+            let coord = self.placement.host_of(0);
+            let cost = self.env.message_cost(CONTROL_BYTES);
+            let arrival = if host_id == coord {
+                compute_end + cost.sender_cpu + cost.receiver_cpu
+            } else {
+                self.network.transfer(
+                    host_id,
+                    coord,
+                    CONTROL_BYTES,
+                    cost.protocol_bytes,
+                    compute_end,
+                ) + cost.receiver_cpu
+            };
+            self.stats.control_messages += 1;
+            self.sim.schedule_at(
+                arrival,
+                SimEvent::DeliverState {
+                    from: block,
+                    converged,
+                },
+            );
+        }
+
+        // Asynchronous sends to every dependant. A send to a destination is
+        // skipped while the previous transfer to that destination is still in
+        // progress ("data are actually sent only if any previous sending of
+        // the same data to the same destination is terminated").
+        let mut sends_issued = 0usize;
+        for i in 0..self.graph.out_neighbours(block).len() {
+            let dst_block = self.graph.out_neighbours(block)[i];
+            if compute_end < self.procs[block].send_busy_until[dst_block] {
+                continue;
+            }
+            let dst = self.placement.host_of(dst_block);
+            let payload = kernel.message_bytes(block, dst_block) + CONTROL_BYTES;
+            let cost = self.env.message_cost(payload);
+            let pack_start = compute_end
+                + self
+                    .thread_cfg
+                    .send_queue_delay(sends_issued, cost.sender_cpu);
+            let pack_done = pack_start + cost.sender_cpu;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record(block, pack_start, pack_done, Activity::Send);
+            }
+            let wire_arrival = if host_id == dst {
+                pack_done
+            } else {
+                self.network
+                    .transfer(host_id, dst, payload, cost.protocol_bytes, pack_done)
+            };
+            self.procs[block].send_busy_until[dst_block] = wire_arrival;
+            self.stats.data_messages += 1;
+            self.stats.data_bytes += payload;
+            sends_issued += 1;
+            let after_dispatch = wire_arrival + cost.dispatch_latency;
+            let iteration = self.procs[block].state.iteration;
+            let values = self.procs[block].state.values.clone();
+            // Receiver-side dispatch: dedicated pools are a per-*host*
+            // resource, so the message queues for a receiving thread at its
+            // arrival time (via an ArriveData event, which keeps pool
+            // submissions in chronological order); on-demand threads handle
+            // every arrival concurrently at the price of a spawn cost.
+            match self.thread_cfg.receive {
+                ReceiveDiscipline::Dedicated(_) => {
+                    self.sim.schedule_at(
+                        after_dispatch,
+                        SimEvent::ArriveData {
+                            to: dst_block,
+                            from: block,
+                            iteration,
+                            values,
+                            handle_cost: cost.receiver_cpu,
+                        },
+                    );
+                }
+                ReceiveDiscipline::OnDemand { spawn_cost } => {
+                    self.sim.schedule_at(
+                        after_dispatch + spawn_cost + cost.receiver_cpu,
+                        SimEvent::DeliverData {
+                            to: dst_block,
+                            from: block,
+                            iteration,
+                            values,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Next iteration, unless the limit was reached.
+        if self.procs[block].state.iteration >= self.config.max_iterations as u64 {
+            self.procs[block].stopped = true;
+            self.procs[block].stop_time = compute_end;
+        } else {
+            self.sim
+                .schedule_at(compute_end, SimEvent::Iterate { block });
+        }
+    }
 }
 
 /// Per-block simulation state.
@@ -590,8 +788,9 @@ struct ProcSim {
     /// Per-destination completion time of the last transfer, used to skip
     /// sends while a previous one is still in flight.
     send_busy_until: Vec<SimTime>,
-    /// Free times of the dedicated receiving threads (empty for on-demand).
-    receive_slots: Vec<SimTime>,
+    /// The block's current honest residual: the last real update's residual,
+    /// or the cumulative drift when quiet iterations are being skipped.
+    reported_residual: f64,
 }
 
 impl ProcSim {
@@ -600,12 +799,7 @@ impl ProcSim {
         block: usize,
         num_blocks: usize,
         config: &RunConfig,
-        thread_cfg: &ThreadConfig,
     ) -> Self {
-        let pool = match thread_cfg.receive {
-            ReceiveDiscipline::Dedicated(n) => n.max(1),
-            ReceiveDiscipline::OnDemand { .. } => 0,
-        };
         Self {
             state: BlockState::new(kernel, block),
             local: LocalConvergence::new(config.epsilon, config.convergence_streak),
@@ -614,30 +808,7 @@ impl ProcSim {
             busy_until: SimTime::ZERO,
             stop_time: SimTime::ZERO,
             send_busy_until: vec![SimTime::ZERO; num_blocks],
-            receive_slots: vec![SimTime::ZERO; pool],
-        }
-    }
-
-    /// Earliest time a dedicated receiving thread can start handling a
-    /// message that arrived at `arrival`.
-    fn next_receive_slot(&self, arrival: SimTime) -> SimTime {
-        self.receive_slots
-            .iter()
-            .copied()
-            .min()
-            .unwrap_or(SimTime::ZERO)
-            .max(arrival)
-    }
-
-    /// Marks the earliest-free dedicated receiving thread as busy until
-    /// `until`.
-    fn occupy_receive_slot(&mut self, until: SimTime) {
-        if let Some(slot) = self
-            .receive_slots
-            .iter_mut()
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
-        {
-            *slot = until;
+            reported_residual: f64::INFINITY,
         }
     }
 }
@@ -646,7 +817,9 @@ impl ProcSim {
 mod tests {
     use super::*;
     use crate::kernel::test_kernels::{Diverging, RingContraction};
+    use crate::kernel::{BlockUpdate, DependencyView};
     use crate::runtime::sequential::SequentialRuntime;
+    use proptest::prelude::*;
 
     fn grid(n: usize) -> GridTopology {
         GridTopology::ethernet_3_sites(n)
@@ -675,6 +848,7 @@ mod tests {
             let sim = SimulatedRuntime::new(grid(6), env, ProblemKind::SparseLinear)
                 .run(&kernel, &config);
             assert!(sim.report.converged, "{env} failed to converge");
+            assert!(!sim.report.premature_stop);
             let fp = kernel.fixed_point();
             for v in &sim.report.solution {
                 assert!((v - fp).abs() < 1e-6, "{env}: {v} vs {fp}");
@@ -748,6 +922,7 @@ mod tests {
         let sim = SimulatedRuntime::new(grid(4), EnvKind::MpiMadeleine, ProblemKind::SparseLinear)
             .run(&kernel, &config);
         assert!(!sim.report.converged);
+        assert!(!sim.report.premature_stop, "limit stop is not premature");
         assert!(sim.report.iterations.iter().all(|&i| i <= 40));
     }
 
@@ -769,7 +944,7 @@ mod tests {
             .run(&kernel, &RunConfig::asynchronous(1e-8));
         let atrace = async_run.trace.expect("trace requested");
         assert!(atrace.time_in(0, Activity::Compute) > SimTime::ZERO);
-        // AIAC processors never wait between iterations.
+        // AIAC processors on uncontended hosts never wait between iterations.
         assert_eq!(atrace.time_in(0, Activity::Idle), SimTime::ZERO);
     }
 
@@ -777,8 +952,365 @@ mod tests {
     fn more_blocks_than_hosts_are_placed_round_robin() {
         let kernel = RingContraction::new(8);
         let runtime = SimulatedRuntime::new(grid(4), EnvKind::Pm2, ProblemKind::SparseLinear);
-        assert_eq!(runtime.host_of(0), runtime.host_of(4));
         let sim = runtime.run(&kernel, &RunConfig::asynchronous(1e-8));
         assert!(sim.report.converged);
+        assert_eq!(sim.placement.policy(), PlacementPolicy::RoundRobin);
+        assert_eq!(sim.placement.host_of(0), sim.placement.host_of(4));
+        assert_ne!(sim.placement.host_of(0), sim.placement.host_of(1));
+    }
+
+    // ------------------------------------------------------------------
+    // Oversubscription: per-host CPU scheduling and placement
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn two_x_oversubscription_is_at_least_1_5x_slower() {
+        // The acceptance criterion of the infinite-core bugfix: with twice as
+        // many blocks as (single-core, homogeneous) hosts, the serialised
+        // compute phases must cost at least 1.5x the one-block-per-host time.
+        let kernel = RingContraction::new(8);
+        let config = RunConfig::asynchronous(1e-9).with_streak(3);
+        let run = |hosts: usize| {
+            SimulatedRuntime::new(
+                GridTopology::homogeneous_cluster(hosts),
+                EnvKind::Pm2,
+                ProblemKind::SparseLinear,
+            )
+            .run(&kernel, &config)
+        };
+        let spread = run(8);
+        let over = run(4);
+        assert!(spread.report.converged && over.report.converged);
+        assert!(
+            over.sim_time.as_secs() >= 1.5 * spread.sim_time.as_secs(),
+            "2x oversubscription: {} s should be >= 1.5x the {} s baseline",
+            over.sim_time.as_secs(),
+            spread.sim_time.as_secs()
+        );
+        // Queueing is the mechanism: the oversubscribed run waits for cores,
+        // the one-block-per-host run never does.
+        assert!(over.report.cpu_queue_secs > 0.0);
+        assert_eq!(spread.report.cpu_queue_secs, 0.0);
+        assert_eq!(over.placement.max_colocation(), 2);
+    }
+
+    #[test]
+    fn oversubscribed_runs_report_host_loads_and_queueing() {
+        let kernel = RingContraction::new(8);
+        let sim = SimulatedRuntime::new(
+            GridTopology::homogeneous_cluster(4),
+            EnvKind::Pm2,
+            ProblemKind::SparseLinear,
+        )
+        .run(&kernel, &RunConfig::asynchronous(1e-8).with_streak(3));
+        assert_eq!(sim.host_loads.len(), 4);
+        for load in &sim.host_loads {
+            assert!(load.jobs > 0, "host {} scheduled nothing", load.host);
+            assert!(load.busy_secs > 0.0);
+            assert!(load.queue_secs > 0.0, "two blocks share one core");
+            assert!(load.utilization > 0.5 && load.utilization <= 1.0 + 1e-12);
+        }
+        let queue_sum: f64 = sim.host_loads.iter().map(|l| l.queue_secs).sum();
+        assert!(sim.report.cpu_queue_secs >= queue_sum - 1e-12);
+    }
+
+    #[test]
+    fn extra_cores_absorb_the_oversubscription() {
+        // The same 2x-oversubscribed workload on dual-core hosts runs the two
+        // co-located blocks concurrently again.
+        let kernel = RingContraction::new(8);
+        let config = RunConfig::asynchronous(1e-9).with_streak(3);
+        let single = SimulatedRuntime::new(
+            GridTopology::homogeneous_cluster(4),
+            EnvKind::Pm2,
+            ProblemKind::SparseLinear,
+        )
+        .run(&kernel, &config);
+        let dual = SimulatedRuntime::new(
+            GridTopology::homogeneous_cluster(4).with_uniform_cores(2),
+            EnvKind::Pm2,
+            ProblemKind::SparseLinear,
+        )
+        .run(&kernel, &config);
+        assert!(dual.report.converged);
+        assert_eq!(dual.report.cpu_queue_secs, 0.0, "two cores, two blocks");
+        assert!(dual.sim_time < single.sim_time);
+    }
+
+    #[test]
+    fn sync_smp_hosts_are_never_slower_than_single_core() {
+        // Dual-core hosts absorb a 2x-oversubscribed synchronous run's
+        // compute phases concurrently again; with identical (placement-
+        // independent) numerics the virtual time must not increase.
+        let kernel = RingContraction::new(8);
+        let config = RunConfig::synchronous(1e-8);
+        let run = |topo: GridTopology| {
+            SimulatedRuntime::new(topo, EnvKind::MpiSync, ProblemKind::SparseLinear)
+                .run(&kernel, &config)
+        };
+        let single = run(GridTopology::homogeneous_cluster(4));
+        let dual = run(GridTopology::homogeneous_cluster(4).with_uniform_cores(2));
+        assert_eq!(single.report.iterations, dual.report.iterations);
+        assert!(
+            dual.sim_time <= single.sim_time,
+            "dual-core {} s should not exceed single-core {} s",
+            dual.sim_time.as_secs(),
+            single.sim_time.as_secs()
+        );
+    }
+
+    #[test]
+    fn speed_weighted_placement_beats_round_robin_when_oversubscribed() {
+        // On the heterogeneous cluster the Duron hosts are 3x slower than the
+        // P4 2.4 hosts; giving every host the same number of blocks leaves
+        // the run Duron-bound, while speed-weighted counts even the load out.
+        let kernel = RingContraction::new(24);
+        let topo = GridTopology::local_hetero_cluster(8);
+        let config = RunConfig::asynchronous(1e-8).with_streak(3);
+        let run = |policy: PlacementPolicy| {
+            SimulatedRuntime::new(
+                topo.clone(),
+                EnvKind::MpiMadeleine,
+                ProblemKind::SparseLinear,
+            )
+            .with_placement(policy)
+            .run(&kernel, &config)
+        };
+        let rr = run(PlacementPolicy::RoundRobin);
+        let sw = run(PlacementPolicy::SpeedWeighted);
+        assert!(rr.report.converged && sw.report.converged);
+        assert!(
+            sw.sim_time < rr.sim_time,
+            "speed-weighted {} s should beat round-robin {} s",
+            sw.sim_time.as_secs(),
+            rr.sim_time.as_secs()
+        );
+    }
+
+    #[test]
+    fn runtime_placement_override_wins_over_the_config() {
+        let kernel = RingContraction::new(6);
+        let topo = GridTopology::local_hetero_cluster(3);
+        let sim = SimulatedRuntime::new(topo, EnvKind::Pm2, ProblemKind::SparseLinear)
+            .with_placement(PlacementPolicy::SpeedWeighted)
+            .run(&kernel, &RunConfig::asynchronous(1e-8));
+        assert_eq!(sim.placement.policy(), PlacementPolicy::SpeedWeighted);
+
+        let kernel = RingContraction::new(6);
+        let sim = SimulatedRuntime::new(
+            GridTopology::local_hetero_cluster(3),
+            EnvKind::Pm2,
+            ProblemKind::SparseLinear,
+        )
+        .run(
+            &kernel,
+            &RunConfig::asynchronous(1e-8).with_placement(PlacementPolicy::SitePacked),
+        );
+        assert_eq!(sim.placement.policy(), PlacementPolicy::SitePacked);
+    }
+
+    // ------------------------------------------------------------------
+    // Stop-decision honesty
+    // ------------------------------------------------------------------
+
+    /// A kernel whose block 0 looks converged for exactly one iteration and
+    /// then de-converges violently: its first update moves by 1e-8 (under any
+    /// reasonable ε), every later update moves by 1.0. Blocks 1.. are
+    /// immediately stationary. With a streak of 1 every block reports local
+    /// convergence after its first iteration, the detector decides, and block
+    /// 0's de-convergence report is still in flight when the stop order goes
+    /// out — the premature-stop scenario of Section 4.3.
+    struct LateSpike {
+        blocks: usize,
+    }
+
+    impl IterativeKernel for LateSpike {
+        fn num_blocks(&self) -> usize {
+            self.blocks
+        }
+
+        fn block_len(&self, _block: usize) -> usize {
+            1
+        }
+
+        fn initial_block(&self, _block: usize) -> Vec<f64> {
+            vec![0.0]
+        }
+
+        fn dependencies(&self, _block: usize) -> Vec<usize> {
+            Vec::new()
+        }
+
+        fn update_block(&self, block: usize, local: &[f64], _: &DependencyView) -> BlockUpdate {
+            let x = local[0];
+            let new = if block == 0 {
+                if x < 0.5e-8 {
+                    x + 1e-8
+                } else {
+                    x + 1.0
+                }
+            } else {
+                x
+            };
+            BlockUpdate {
+                residual: (new - x).abs(),
+                values: vec![new],
+            }
+        }
+
+        fn iteration_cost(&self, _block: usize) -> f64 {
+            0.005
+        }
+    }
+
+    #[test]
+    fn premature_stop_with_a_delayed_cancellation_is_flagged() {
+        let kernel = LateSpike { blocks: 3 };
+        let config = RunConfig::asynchronous(1e-6).with_streak(1);
+        let sim = SimulatedRuntime::new(
+            GridTopology::homogeneous_cluster(3),
+            EnvKind::Pm2,
+            ProblemKind::SparseLinear,
+        )
+        .run(&kernel, &config);
+        // The detector decided (every block did report local convergence
+        // once), but block 0 spiked while the decision was being taken: the
+        // run must not be reported as converged.
+        assert!(
+            sim.report.premature_stop,
+            "the in-flight de-convergence must be detected"
+        );
+        assert!(!sim.report.converged);
+        assert!(
+            sim.report.final_residual >= config.epsilon,
+            "final residual {} belies convergence",
+            sim.report.final_residual
+        );
+    }
+
+    /// A dependency-free kernel that creeps by 2e-3 per update, then by 1e-4,
+    /// then sits still. Once the per-update residual falls under ε·10⁻³ the
+    /// runtime's quiet-iteration shortcut stops calling the kernel, and
+    /// before the fix the reported final residual froze at the last real
+    /// update's 1e-4 even though the block had drifted by ~1e-2 in total.
+    struct QuietDrift {
+        blocks: usize,
+    }
+
+    impl IterativeKernel for QuietDrift {
+        fn num_blocks(&self) -> usize {
+            self.blocks
+        }
+
+        fn block_len(&self, _block: usize) -> usize {
+            1
+        }
+
+        fn initial_block(&self, _block: usize) -> Vec<f64> {
+            vec![0.0]
+        }
+
+        fn dependencies(&self, _block: usize) -> Vec<usize> {
+            Vec::new()
+        }
+
+        fn update_block(&self, _block: usize, local: &[f64], _: &DependencyView) -> BlockUpdate {
+            let x = local[0];
+            let new = if x < 0.0099 {
+                x + 2e-3
+            } else if x < 0.0101 {
+                x + 1e-4
+            } else {
+                x
+            };
+            BlockUpdate {
+                residual: (new - x).abs(),
+                values: vec![new],
+            }
+        }
+
+        fn iteration_cost(&self, _block: usize) -> f64 {
+            0.002
+        }
+    }
+
+    #[test]
+    fn skipped_quiet_iterations_report_the_true_drift() {
+        let kernel = QuietDrift { blocks: 2 };
+        // ε = 1.0 keeps the run convergent; the skip threshold is ε·10⁻³ =
+        // 1e-3, so the 1e-4 step flips the block onto the skip path.
+        let config = RunConfig::asynchronous(1.0).with_streak(8);
+        let sim = SimulatedRuntime::new(
+            GridTopology::homogeneous_cluster(2),
+            EnvKind::Pm2,
+            ProblemKind::SparseLinear,
+        )
+        .run(&kernel, &config);
+        assert!(sim.report.converged);
+        assert!(!sim.report.premature_stop);
+        // The block moved 0.0101 in total; the stale per-update residual was
+        // only 1e-4. The report must carry the cumulative drift.
+        assert!(
+            sim.report.final_residual > 5e-3,
+            "final residual {} is the stale per-update value",
+            sim.report.final_residual
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Placement invariant (a): adding hosts never increases the virtual
+        /// time. Synchronous mode keeps the numerics placement-independent,
+        /// so the comparison isolates the scheduling layer: halving the
+        /// per-host load (2 blocks/host -> 1 block/host) must not slow the
+        /// run down.
+        #[test]
+        fn prop_adding_hosts_never_increases_sync_time(n in 2usize..6) {
+            let m = 2 * n;
+            let kernel = RingContraction::new(m);
+            let config = RunConfig::synchronous(1e-8);
+            let run = |hosts: usize| {
+                SimulatedRuntime::new(
+                    GridTopology::homogeneous_cluster(hosts),
+                    EnvKind::MpiSync,
+                    ProblemKind::SparseLinear,
+                )
+                .run(&kernel, &config)
+            };
+            let few = run(n);
+            let many = run(m);
+            prop_assert_eq!(few.report.iterations[0], many.report.iterations[0]);
+            prop_assert!(
+                many.sim_time <= few.sim_time,
+                "{} hosts took {} s, {} hosts took {} s",
+                m, many.sim_time.as_secs(), n, few.sim_time.as_secs()
+            );
+        }
+
+        /// Placement invariant (b): an oversubscribed asynchronous run is
+        /// never faster than the same kernel with one block per host.
+        #[test]
+        fn prop_oversubscription_is_never_faster(n in 2usize..5) {
+            let m = 2 * n;
+            let kernel = RingContraction::new(m);
+            let config = RunConfig::asynchronous(1e-8).with_streak(3);
+            let run = |hosts: usize| {
+                SimulatedRuntime::new(
+                    GridTopology::homogeneous_cluster(hosts),
+                    EnvKind::Pm2,
+                    ProblemKind::SparseLinear,
+                )
+                .run(&kernel, &config)
+            };
+            let spread = run(m);
+            let over = run(n);
+            prop_assert!(spread.report.converged && over.report.converged);
+            prop_assert!(
+                over.sim_time >= spread.sim_time,
+                "oversubscribed {} s beat one-per-host {} s",
+                over.sim_time.as_secs(), spread.sim_time.as_secs()
+            );
+        }
     }
 }

@@ -599,7 +599,9 @@ fn finalize_report(
         data_bytes,
         coalesced_messages: mailbox_stats.coalesced,
         peak_mailbox_occupancy: mailbox_stats.peak_occupancy,
+        cpu_queue_secs: 0.0,
         converged,
+        premature_stop: false,
         solution: kernel.assemble(&values),
         final_residual,
     })

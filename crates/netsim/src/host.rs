@@ -2,10 +2,12 @@
 //!
 //! The paper's clusters mix three kinds of machines — Duron 800 MHz,
 //! Pentium IV 1.7 GHz and Pentium IV 2.4 GHz — scattered over one, three or
-//! four sites. A [`Host`] carries the two properties the simulation needs:
+//! four sites. A [`Host`] carries the properties the simulation needs:
 //! a *relative CPU speed* (used to convert work units into virtual compute
-//! time) and the [`SiteId`] it belongs to (used to pick the network link a
-//! message travels over).
+//! time), a *core count* (the number of compute phases the machine can run
+//! simultaneously — co-located work beyond it queues in
+//! [`crate::sched::HostScheduler`]) and the [`SiteId`] it belongs to (used to
+//! pick the network link a message travels over).
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -71,10 +73,15 @@ pub struct Host {
     /// Relative compute speed (1.0 = reference machine). Work taking `w`
     /// seconds on the reference machine takes `w / speed` here.
     pub speed: f64,
+    /// Number of CPU cores: how many compute phases the host can execute at
+    /// the same time. The paper's machines are all single-core desktops, so
+    /// every constructor defaults to 1; use [`Host::with_cores`] for SMP
+    /// hosts.
+    pub cores: usize,
 }
 
 impl Host {
-    /// Creates a host of a given machine kind.
+    /// Creates a (single-core) host of a given machine kind.
     pub fn new(id: HostId, name: impl Into<String>, site: SiteId, kind: MachineKind) -> Self {
         Self {
             id,
@@ -82,10 +89,11 @@ impl Host {
             site,
             kind,
             speed: kind.speed_factor(),
+            cores: 1,
         }
     }
 
-    /// Creates a host with an explicit relative speed.
+    /// Creates a (single-core) host with an explicit relative speed.
     pub fn with_speed(id: HostId, name: impl Into<String>, site: SiteId, speed: f64) -> Self {
         assert!(speed > 0.0, "host speed must be positive");
         Self {
@@ -94,7 +102,18 @@ impl Host {
             site,
             kind: MachineKind::Custom,
             speed,
+            cores: 1,
         }
+    }
+
+    /// Sets the core count (builder style).
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores > 0, "a host needs at least one core");
+        self.cores = cores;
+        self
     }
 
     /// Virtual time needed to execute `reference_secs` seconds worth of work
@@ -138,6 +157,19 @@ mod tests {
     fn custom_speed_is_respected() {
         let h = Host::with_speed(HostId(0), "h", SiteId(0), 2.0);
         assert_eq!(h.compute_time(4.0).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn hosts_default_to_one_core() {
+        let h = Host::new(HostId(0), "h", SiteId(0), MachineKind::PentiumIv2_4);
+        assert_eq!(h.cores, 1);
+        assert_eq!(h.with_cores(4).cores, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_is_rejected() {
+        let _ = Host::new(HostId(0), "h", SiteId(0), MachineKind::Duron800).with_cores(0);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   plus a builder for custom grids;
 //! * [`network`] — the transfer-time model (latency + size/bandwidth with
 //!   per-link FIFO contention);
+//! * [`sched`] — per-host CPU scheduling: hosts have finitely many cores, so
+//!   co-located compute phases and receptions queue FIFO instead of all
+//!   running at full speed;
 //! * [`event`] / [`sim`] — a classic discrete-event kernel (virtual clock,
 //!   ordered event queue) that the simulated AIAC runtime drives;
 //! * [`trace`] — per-processor activity traces used to regenerate the
@@ -30,6 +33,7 @@ pub mod event;
 pub mod host;
 pub mod link;
 pub mod network;
+pub mod sched;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -39,6 +43,7 @@ pub use event::{Event, EventQueue};
 pub use host::{Host, HostId, SiteId};
 pub use link::{Link, LinkDirection};
 pub use network::Network;
+pub use sched::{CpuScheduler, HostLoad, HostScheduler, Slot};
 pub use sim::Simulator;
 pub use time::SimTime;
 pub use topology::GridTopology;

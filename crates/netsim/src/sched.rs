@@ -1,0 +1,349 @@
+//! Per-host CPU scheduling.
+//!
+//! A simulated [`crate::host::Host`] has a finite number of cores, so when
+//! more blocks than cores are placed on it their compute phases cannot all
+//! run at once. [`CpuScheduler`] models one host's cores as a set of
+//! earliest-free resources with FIFO admission: a job submitted at virtual
+//! time `t` starts on the first core to become free at or after `t`, and jobs
+//! submitted in chronological order never overtake each other on the same
+//! host. [`HostScheduler`] bundles one `CpuScheduler` per host of a
+//! [`GridTopology`] and accumulates the per-host load statistics
+//! ([`HostLoad`]) the run reports surface: busy time, queueing delay, job
+//! count and utilization.
+//!
+//! The same mechanism serves two resources of the simulated runtime: the
+//! compute cores themselves, and the Table-4 dedicated receiving-thread
+//! pools, which are per *host* (all blocks placed on a machine share its
+//! receiving threads) rather than per block.
+
+use crate::host::HostId;
+use crate::time::SimTime;
+use crate::topology::GridTopology;
+use serde::{Deserialize, Serialize};
+
+/// The interval a scheduled job was granted on a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// When the job actually starts executing (≥ the submission time).
+    pub start: SimTime,
+    /// When the job finishes.
+    pub end: SimTime,
+    /// Time the job spent waiting for a free core (`start − ready`).
+    pub queued: SimTime,
+}
+
+/// FIFO scheduler over the cores of a single host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuScheduler {
+    /// Virtual time at which each core becomes free.
+    free: Vec<SimTime>,
+    busy: SimTime,
+    queued: SimTime,
+    jobs: u64,
+    last_end: SimTime,
+}
+
+impl CpuScheduler {
+    /// Creates a scheduler for `cores` cores, all free at time zero.
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "a scheduler needs at least one core");
+        Self {
+            free: vec![SimTime::ZERO; cores],
+            busy: SimTime::ZERO,
+            queued: SimTime::ZERO,
+            jobs: 0,
+            last_end: SimTime::ZERO,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Earliest time a job submitted at `ready` could start, without
+    /// committing a core.
+    pub fn earliest_start(&self, ready: SimTime) -> SimTime {
+        self.free
+            .iter()
+            .copied()
+            .min()
+            .expect("scheduler has at least one core")
+            .max(ready)
+    }
+
+    /// Admits a job of `duration` submitted at `ready`: the earliest-free
+    /// core is occupied from `max(ready, core_free)` for `duration`.
+    pub fn schedule(&mut self, ready: SimTime, duration: SimTime) -> Slot {
+        let core = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("scheduler has at least one core");
+        let start = self.free[core].max(ready);
+        let end = start + duration;
+        self.free[core] = end;
+        let queued = start.saturating_sub(ready);
+        self.busy += duration;
+        self.queued += queued;
+        self.jobs += 1;
+        self.last_end = self.last_end.max(end);
+        Slot { start, end, queued }
+    }
+
+    /// Total core-busy time accumulated so far.
+    pub fn busy_secs(&self) -> f64 {
+        self.busy.as_secs()
+    }
+
+    /// Total time jobs spent waiting for a free core.
+    pub fn queue_secs(&self) -> f64 {
+        self.queued.as_secs()
+    }
+
+    /// Number of jobs scheduled.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Completion time of the latest-finishing job (the host's makespan).
+    pub fn makespan(&self) -> SimTime {
+        self.last_end
+    }
+
+    /// Fraction of the capacity `cores × span` that was busy. Returns 0 for
+    /// an empty span.
+    pub fn utilization(&self, span: SimTime) -> f64 {
+        if span.is_zero() {
+            return 0.0;
+        }
+        self.busy.as_secs() / (span.as_secs() * self.cores() as f64)
+    }
+}
+
+/// Per-host load statistics of a finished run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostLoad {
+    /// Host index.
+    pub host: usize,
+    /// Number of cores the host scheduled over.
+    pub cores: usize,
+    /// Number of jobs (compute phases or receptions) executed.
+    pub jobs: u64,
+    /// Total core-busy virtual seconds.
+    pub busy_secs: f64,
+    /// Total virtual seconds jobs waited for a free core.
+    pub queue_secs: f64,
+    /// `busy_secs / (cores × span)` over the run's span.
+    pub utilization: f64,
+}
+
+/// One [`CpuScheduler`] per host of a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostScheduler {
+    hosts: Vec<CpuScheduler>,
+}
+
+impl HostScheduler {
+    /// Builds a scheduler over every host of `topology`, using each host's
+    /// own core count.
+    pub fn for_topology(topology: &GridTopology) -> Self {
+        Self {
+            hosts: topology
+                .hosts()
+                .iter()
+                .map(|h| CpuScheduler::new(h.cores))
+                .collect(),
+        }
+    }
+
+    /// Builds a scheduler with the same number of slots on every host — used
+    /// for the per-host dedicated receiving-thread pools, whose size comes
+    /// from the Table-4 thread configuration, not from the hardware.
+    pub fn uniform(num_hosts: usize, slots: usize) -> Self {
+        assert!(num_hosts > 0, "need at least one host");
+        Self {
+            hosts: (0..num_hosts).map(|_| CpuScheduler::new(slots)).collect(),
+        }
+    }
+
+    /// Number of hosts covered.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The scheduler of one host.
+    ///
+    /// # Panics
+    /// Panics when the id is out of range.
+    pub fn host(&self, id: HostId) -> &CpuScheduler {
+        &self.hosts[id.0]
+    }
+
+    /// Admits a job on `host` (see [`CpuScheduler::schedule`]).
+    pub fn schedule(&mut self, host: HostId, ready: SimTime, duration: SimTime) -> Slot {
+        self.hosts[host.0].schedule(ready, duration)
+    }
+
+    /// Total queueing delay accumulated across every host.
+    pub fn total_queue_secs(&self) -> f64 {
+        self.hosts.iter().map(|h| h.queue_secs()).sum()
+    }
+
+    /// Snapshot of every host's load over a run of length `span`.
+    pub fn loads(&self, span: SimTime) -> Vec<HostLoad> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .map(|(host, cpu)| HostLoad {
+                host,
+                cores: cpu.cores(),
+                jobs: cpu.jobs(),
+                busy_secs: cpu.busy_secs(),
+                queue_secs: cpu.queue_secs(),
+                utilization: cpu.utilization(span),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_core_serialises_jobs_fifo() {
+        let mut cpu = CpuScheduler::new(1);
+        let a = cpu.schedule(SimTime::ZERO, secs(2.0));
+        let b = cpu.schedule(SimTime::ZERO, secs(1.0));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.end, secs(2.0));
+        assert_eq!(b.start, secs(2.0), "second job queues behind the first");
+        assert_eq!(b.end, secs(3.0));
+        assert_eq!(b.queued, secs(2.0));
+        assert_eq!(cpu.busy_secs(), 3.0);
+        assert_eq!(cpu.queue_secs(), 2.0);
+        assert_eq!(cpu.jobs(), 2);
+        assert_eq!(cpu.makespan(), secs(3.0));
+    }
+
+    #[test]
+    fn two_cores_run_two_jobs_concurrently() {
+        let mut cpu = CpuScheduler::new(2);
+        let a = cpu.schedule(SimTime::ZERO, secs(2.0));
+        let b = cpu.schedule(SimTime::ZERO, secs(2.0));
+        let c = cpu.schedule(SimTime::ZERO, secs(1.0));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::ZERO, "second core absorbs the second job");
+        assert_eq!(c.start, secs(2.0), "third job waits for a core");
+        assert_eq!(cpu.queue_secs(), 2.0);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_count_as_busy_time() {
+        let mut cpu = CpuScheduler::new(1);
+        cpu.schedule(SimTime::ZERO, secs(1.0));
+        let late = cpu.schedule(secs(5.0), secs(1.0));
+        assert_eq!(late.start, secs(5.0));
+        assert_eq!(late.queued, SimTime::ZERO);
+        assert_eq!(cpu.busy_secs(), 2.0);
+        // 2 busy seconds over a 6-second single-core span
+        assert!((cpu.utilization(secs(6.0)) - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(cpu.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn earliest_start_peeks_without_committing() {
+        let mut cpu = CpuScheduler::new(1);
+        cpu.schedule(SimTime::ZERO, secs(3.0));
+        assert_eq!(cpu.earliest_start(secs(1.0)), secs(3.0));
+        assert_eq!(cpu.earliest_start(secs(4.0)), secs(4.0));
+        assert_eq!(cpu.jobs(), 1, "peeking must not schedule");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_is_rejected() {
+        CpuScheduler::new(0);
+    }
+
+    #[test]
+    fn host_scheduler_tracks_per_host_loads() {
+        let topo = GridTopology::local_hetero_cluster(3);
+        let mut sched = HostScheduler::for_topology(&topo);
+        assert_eq!(sched.num_hosts(), 3);
+        sched.schedule(HostId(0), SimTime::ZERO, secs(1.0));
+        sched.schedule(HostId(0), SimTime::ZERO, secs(1.0));
+        sched.schedule(HostId(2), SimTime::ZERO, secs(0.5));
+        let loads = sched.loads(secs(2.0));
+        assert_eq!(loads[0].jobs, 2);
+        assert_eq!(loads[0].busy_secs, 2.0);
+        assert_eq!(loads[0].queue_secs, 1.0);
+        assert!((loads[0].utilization - 1.0).abs() < 1e-12);
+        assert_eq!(loads[1].jobs, 0);
+        assert_eq!(loads[2].busy_secs, 0.5);
+        assert_eq!(sched.total_queue_secs(), 1.0);
+    }
+
+    #[test]
+    fn uniform_scheduler_gives_every_host_the_same_pool() {
+        let sched = HostScheduler::uniform(4, 2);
+        assert_eq!(sched.num_hosts(), 4);
+        for h in 0..4 {
+            assert_eq!(sched.host(HostId(h)).cores(), 2);
+        }
+    }
+
+    proptest! {
+        /// Adding a core never increases any job's completion time (and hence
+        /// never the makespan): the end-to-end guarantee behind "adding hosts
+        /// never slows a run down" at the scheduler level.
+        #[test]
+        fn prop_more_cores_never_increase_makespan(
+            jobs in proptest::collection::vec((0.0f64..50.0, 0.01f64..5.0), 1..40),
+            cores in 1usize..4,
+        ) {
+            let mut small = CpuScheduler::new(cores);
+            let mut large = CpuScheduler::new(cores + 1);
+            for &(ready, duration) in &jobs {
+                let a = small.schedule(secs(ready), secs(duration));
+                let b = large.schedule(secs(ready), secs(duration));
+                prop_assert!(b.end <= a.end, "job finished later on more cores");
+            }
+            prop_assert!(large.makespan() <= small.makespan());
+            prop_assert!(large.queue_secs() <= small.queue_secs());
+        }
+
+        /// Jobs submitted in chronological order start in that order (FIFO:
+        /// no job overtakes an earlier submission on the same host).
+        #[test]
+        fn prop_chronological_submissions_are_fifo(
+            jobs in proptest::collection::vec(0.01f64..3.0, 1..30),
+            cores in 1usize..4,
+        ) {
+            let mut cpu = CpuScheduler::new(cores);
+            let mut ready = SimTime::ZERO;
+            let mut last_start = SimTime::ZERO;
+            for (i, &duration) in jobs.iter().enumerate() {
+                let slot = cpu.schedule(ready, secs(duration));
+                prop_assert!(slot.start >= ready);
+                prop_assert!(slot.start >= last_start, "job {i} overtook an earlier one");
+                last_start = slot.start;
+                ready += secs(duration / 3.0);
+            }
+            // conservation: busy time is exactly the sum of the durations
+            let total: f64 = jobs.iter().sum();
+            prop_assert!((cpu.busy_secs() - total).abs() < 1e-9);
+        }
+    }
+}

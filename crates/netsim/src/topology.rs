@@ -114,6 +114,24 @@ impl GridTopology {
         self.hosts.iter().map(|h| h.speed).collect()
     }
 
+    /// Total number of CPU cores across all hosts.
+    pub fn total_cores(&self) -> usize {
+        self.hosts.iter().map(|h| h.cores).sum()
+    }
+
+    /// Returns the same platform with every host given `cores` cores
+    /// (builder style) — useful for modelling SMP variants of the presets.
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero.
+    pub fn with_uniform_cores(mut self, cores: usize) -> Self {
+        assert!(cores > 0, "a host needs at least one core");
+        for host in self.hosts.iter_mut() {
+            host.cores = cores;
+        }
+        self
+    }
+
     /// Mean host speed (1.0 = every machine is a reference machine).
     pub fn mean_speed(&self) -> f64 {
         if self.hosts.is_empty() {
@@ -362,6 +380,15 @@ mod tests {
         let g = GridTopology::homogeneous_cluster(5);
         assert!(g.speed_vector().iter().all(|s| (*s - 1.0).abs() < 1e-12));
         assert!((g.mean_speed() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_single_core_until_overridden() {
+        let g = GridTopology::local_hetero_cluster(5);
+        assert_eq!(g.total_cores(), 5);
+        let smp = g.with_uniform_cores(4);
+        assert_eq!(smp.total_cores(), 20);
+        assert!(smp.hosts().iter().all(|h| h.cores == 4));
     }
 
     #[test]
