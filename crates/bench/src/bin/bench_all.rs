@@ -1,0 +1,135 @@
+//! Runs the standing experiment registry and emits a machine-readable
+//! [`BenchRecord`].
+//!
+//! ```text
+//! bench_all [--smoke | --full] [--json PATH] [--list]
+//! ```
+//!
+//! * `--smoke` (default) — seconds-scale sizes; the suite CI gates on.
+//! * `--full` — the historical default sizes of the standalone binaries.
+//! * `--json PATH` — also write the record as pretty JSON to `PATH`.
+//! * `--list` — print the specs that would run, without running them.
+//!
+//! Setting `AIAC_FULL=1` additionally switches the *problem parameters* to
+//! the paper's original sizes (orthogonal to `--smoke`/`--full`, which pick
+//! the sweep breadth).
+//!
+//! Exit codes: 0 = every check passed, 1 = a run violated one of its
+//! spec'd invariants, 2 = usage error.
+
+use aiac_bench::harness::spec::registry;
+use aiac_bench::harness::{run_specs, BenchRecord, Fidelity};
+use aiac_bench::scale::ExperimentScale;
+
+struct Args {
+    fidelity: Fidelity,
+    json: Option<String>,
+    list: bool,
+}
+
+const USAGE: &str = "usage: bench_all [--smoke | --full] [--json PATH] [--list]";
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        fidelity: Fidelity::Smoke,
+        json: None,
+        list: false,
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => args.fidelity = Fidelity::Smoke,
+            "--full" => args.fidelity = Fidelity::Full,
+            "--json" => {
+                args.json = Some(argv.next().ok_or("--json needs a file path")?);
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One human-readable block per experiment: its cells with the headline
+/// metrics and any check failures.
+fn render(record: &BenchRecord) -> String {
+    let mut out = String::new();
+    for exp in &record.experiments {
+        out.push_str(&format!("## {}\n", exp.experiment));
+        for cell in &exp.cells {
+            let sim = cell
+                .metric("sim_time_secs")
+                .map(|m| format!("{:>10.2} s virtual", m.value))
+                .unwrap_or_else(|| format!("{:>19}", "-"));
+            let wall = cell
+                .metric("wall_median_secs")
+                .map(|m| format!("{:>8.3} s wall", m.value))
+                .unwrap_or_else(|| format!("{:>15}", "-"));
+            let ratio = cell
+                .metric("speed_ratio")
+                .map(|m| format!("  ratio {:>5.2}", m.value))
+                .unwrap_or_default();
+            out.push_str(&format!("  {:<32} {sim}  {wall}{ratio}\n", cell.cell));
+            for failure in &cell.check_failures {
+                out.push_str(&format!("    CHECK FAILED: {failure}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(err) => {
+            if err.is_empty() {
+                println!("{USAGE}");
+                return;
+            }
+            eprintln!("bench_all: {err}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let scale = ExperimentScale::from_env();
+    let specs = registry(&scale, args.fidelity);
+    eprintln!(
+        "bench_all: {} suite, {}",
+        args.fidelity.suite(),
+        scale.describe()
+    );
+    if args.list {
+        for spec in &specs {
+            println!(
+                "{:<12} {:?} on {} ({} profiles, {} placements, sweep {:?})",
+                spec.name,
+                spec.kind,
+                spec.platform.label(),
+                spec.profiles.len(),
+                spec.placements.len(),
+                spec.block_sweep
+            );
+        }
+        return;
+    }
+
+    let record = run_specs(&specs, args.fidelity.suite(), scale.full_scale);
+    print!("{}", render(&record));
+
+    if let Some(path) = &args.json {
+        if let Err(err) = std::fs::write(path, record.to_json_pretty() + "\n") {
+            eprintln!("bench_all: cannot write {path}: {err}");
+            std::process::exit(2);
+        }
+        eprintln!("bench_all: wrote {path}");
+    }
+
+    if !record.all_checks_passed() {
+        for failure in record.check_failures() {
+            eprintln!("bench_all: check failed: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("ok: every experiment passed its checks");
+}

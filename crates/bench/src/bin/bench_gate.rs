@@ -1,0 +1,156 @@
+//! The CI perf-regression gate.
+//!
+//! ```text
+//! bench_gate BASELINE [CANDIDATE] [--rel-tolerance F] [--abs-tolerance F]
+//! ```
+//!
+//! Compares a candidate [`BenchRecord`] against the committed baseline
+//! (`BENCH_baseline.json` at the repo root) and exits non-zero when any
+//! deterministic metric regressed beyond tolerance or disappeared. When no
+//! candidate file is given, the smoke registry is run in-process — one
+//! command gives CI its verdict.
+//!
+//! Only *deterministic* metrics are compared (simulated virtual-clock
+//! totals, which replay bit-identically on any machine), so the gate is
+//! flake-free on shared runners; wall-clock samples are carried in the
+//! records for trend-watching but never gated.
+//!
+//! Exit codes: 0 = within tolerance, 1 = regression (or a candidate check
+//! failure), 2 = usage / IO error.
+
+use aiac_bench::harness::spec::registry;
+use aiac_bench::harness::{compare, run_specs, BenchRecord, Fidelity, Tolerance};
+use aiac_bench::scale::ExperimentScale;
+
+struct Args {
+    baseline: String,
+    candidate: Option<String>,
+    tolerance: Tolerance,
+}
+
+const USAGE: &str =
+    "usage: bench_gate BASELINE [CANDIDATE] [--rel-tolerance F] [--abs-tolerance F]";
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut tolerance = Tolerance::default();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--rel-tolerance" => {
+                let raw = argv.next().ok_or("--rel-tolerance needs a number")?;
+                tolerance.rel = parse_bound(&raw)?;
+            }
+            "--abs-tolerance" => {
+                let raw = argv.next().ok_or("--abs-tolerance needs a number")?;
+                tolerance.abs = parse_bound(&raw)?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            path if baseline.is_none() => baseline = Some(path.to_string()),
+            path if candidate.is_none() => candidate = Some(path.to_string()),
+            extra => return Err(format!("unexpected extra argument {extra:?}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("a baseline file is required")?,
+        candidate,
+        tolerance,
+    })
+}
+
+fn parse_bound(raw: &str) -> Result<f64, String> {
+    let value: f64 = raw
+        .parse()
+        .map_err(|_| format!("tolerances must be numbers, got {raw:?}"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("tolerances must be >= 0, got {raw}"));
+    }
+    Ok(value)
+}
+
+fn load_record(path: &str) -> Result<BenchRecord, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    BenchRecord::from_json(&text).map_err(|err| format!("{path}: {err}"))
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(err) => {
+            if err.is_empty() {
+                println!("{USAGE}");
+                return;
+            }
+            eprintln!("bench_gate: {err}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let baseline = match load_record(&args.baseline) {
+        Ok(record) => record,
+        Err(err) => {
+            eprintln!("bench_gate: {err}");
+            std::process::exit(2);
+        }
+    };
+
+    let candidate = match &args.candidate {
+        Some(path) => match load_record(path) {
+            Ok(record) => record,
+            Err(err) => {
+                eprintln!("bench_gate: {err}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let scale = ExperimentScale::from_env();
+            eprintln!("bench_gate: no candidate file, running the smoke suite in-process");
+            let specs = registry(&scale, Fidelity::Smoke);
+            run_specs(&specs, Fidelity::Smoke.suite(), scale.full_scale)
+        }
+    };
+
+    // A candidate that failed its own invariants must not pass the gate,
+    // however its metrics compare.
+    let mut failed = false;
+    for failure in candidate.check_failures() {
+        eprintln!("bench_gate: candidate check failed: {failure}");
+        failed = true;
+    }
+
+    let report = match compare(&baseline, &candidate, args.tolerance) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("bench_gate: {err}");
+            std::process::exit(2);
+        }
+    };
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+    let failures = report.failures();
+    if !failures.is_empty() {
+        eprintln!(
+            "bench_gate: {} metric(s) regressed beyond tolerance \
+             (rel {:.0}%, abs {:.1e}); see REGRESSED/MISSING lines above. \
+             If the change is intended, refresh BENCH_baseline.json with \
+             `bench_all --smoke --json BENCH_baseline.json`.",
+            failures.len(),
+            args.tolerance.rel * 100.0,
+            args.tolerance.abs
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "ok: {} gateable metrics within tolerance of {}",
+        report.deltas.len(),
+        args.baseline
+    );
+}

@@ -1,62 +1,41 @@
 //! Oversubscription decomposition sweep (the Figure-3 scenario pushed past
 //! one block per machine).
 //!
-//! The paper's decomposition experiments stop at 40 machines; this
-//! experiment keeps the 40-host heterogeneous cluster fixed and instead
-//! raises the number of *blocks* far beyond it (64 to 1024 by default), so
-//! several blocks share each simulated machine. With per-host CPU scheduling
-//! the co-located compute phases serialise over the host's cores, which is
-//! exactly where the block-to-host placement policy starts to matter:
+//! A thin wrapper over the harness's `oversub` spec
+//! ([`aiac_bench::harness::spec::oversub_spec`]): the 40-host heterogeneous
+//! cluster stays fixed while the number of *blocks* rises far beyond it, so
+//! several blocks share each simulated machine and the block-to-host
+//! placement policy starts to matter. The spec sweeps all three policies
+//! (round-robin, site-packed, speed-weighted) and its checks assert that
+//! every run converges and that speed-weighted placement beats round-robin
+//! at every block count — the property CI smoke-checks.
 //!
-//! * **round-robin** gives every host the same number of blocks, leaving the
-//!   run bound by the Duron 800 machines (3x slower than the P4 2.4);
-//! * **site-packed** keeps neighbouring blocks co-located (one site here, so
-//!   it mostly differs from round-robin in which blocks share a host);
-//! * **speed-weighted** hands out block counts proportional to host speed
-//!   and should win on any heterogeneous platform.
+//! Prints one Figure-3-style table row per block count plus the record's
+//! JSON.
 //!
-//! Prints one Figure-3-style table row per block count with the virtual
-//! execution time under each policy (plus queueing and utilization detail on
-//! stderr), then the JSON series. Exits non-zero if speed-weighted placement
-//! fails to beat round-robin anywhere, so CI can run it as a smoke check.
+//! Usage: `oversub [blocks...]` — block counts default to
+//! `64 128 256 512 1024`; `oversub 256` is the CI configuration.
 //!
-//! Usage: `oversub [blocks...]` — block counts default to `64 128 256 512
-//! 1024`; `oversub 256` is the CI configuration.
+//! Exit codes: 0 = all checks passed, 1 = a check failed, 2 = malformed
+//! arguments (`--help` prints this usage and exits 0).
 
-use aiac_bench::scale::ScaleRing;
-use aiac_core::config::RunConfig;
+use aiac_bench::harness::run_spec;
+use aiac_bench::harness::spec::oversub_spec;
 use aiac_core::placement::PlacementPolicy;
-use aiac_core::runtime::simulated::SimulatedRuntime;
-use aiac_envs::env::EnvKind;
-use aiac_envs::threads::ProblemKind;
-use aiac_netsim::topology::GridTopology;
-use serde::Serialize;
 
-/// Number of hosts of the paper's local heterogeneous cluster.
-const HOSTS: usize = 40;
-/// Reference-machine cost of one local iteration: large enough (2 ms) that
-/// compute, not LAN latency, dominates — the regime of the paper's problems.
-const ITERATION_COST_SECS: f64 = 2e-3;
+const USAGE: &str = "usage: oversub [blocks...]\n\
+    \n\
+    Sweeps block counts (default: 64 128 256 512 1024) over the 40-host\n\
+    heterogeneous cluster under all three placement policies. Exits 2 on\n\
+    malformed arguments, 1 if any run fails its checks (convergence,\n\
+    speed-weighted beats round-robin).";
 
-#[derive(Debug, Serialize)]
-struct PolicyCell {
-    policy: String,
-    time_secs: f64,
-    converged: bool,
-    cpu_queue_secs: f64,
-    max_colocation: usize,
-    mean_utilization: f64,
-}
-
-#[derive(Debug, Serialize)]
-struct SweepRow {
-    blocks: usize,
-    cells: Vec<PolicyCell>,
-}
-
-fn parse_blocks(argv: impl Iterator<Item = String>) -> Result<Vec<usize>, String> {
+fn parse_blocks(argv: impl Iterator<Item = String>) -> Result<Option<Vec<usize>>, String> {
     let mut blocks = Vec::new();
     for raw in argv {
+        if raw == "--help" || raw == "-h" {
+            return Ok(None);
+        }
         let n: usize = raw
             .parse()
             .map_err(|_| format!("block counts must be positive integers, got {raw:?}"))?;
@@ -68,106 +47,75 @@ fn parse_blocks(argv: impl Iterator<Item = String>) -> Result<Vec<usize>, String
     if blocks.is_empty() {
         blocks = vec![64, 128, 256, 512, 1024];
     }
-    Ok(blocks)
+    Ok(Some(blocks))
 }
 
 fn main() {
     let blocks = match parse_blocks(std::env::args().skip(1)) {
-        Ok(blocks) => blocks,
+        Ok(Some(blocks)) => blocks,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
         Err(err) => {
             eprintln!("oversub: {err}");
-            eprintln!("usage: oversub [blocks...]");
+            eprintln!("usage: oversub [blocks...] (see oversub --help)");
             std::process::exit(2);
         }
     };
 
-    let topology = GridTopology::local_hetero_cluster(HOSTS);
-    let config = RunConfig::asynchronous(1e-8).with_streak(3);
+    let spec = oversub_spec(&blocks);
     println!(
-        "Oversubscription sweep: {} hosts ({}), {} cores total, {}",
-        HOSTS,
-        topology.name(),
-        topology.total_cores(),
-        EnvKind::MpiMadeleine.label(),
+        "Oversubscription sweep: {} on {} ({} block counts)",
+        spec.profiles[0].label(),
+        spec.platform.label(),
+        blocks.len(),
     );
+    let record = run_spec(&spec);
+
     println!(
         "{:>7}  {:>14}  {:>14}  {:>16}  {:>8}",
         "blocks", "round-robin", "site-packed", "speed-weighted", "best"
     );
-
-    let mut rows = Vec::new();
-    let mut failures = 0;
+    let mut failed = false;
     for &m in &blocks {
-        let kernel = ScaleRing::new(m).with_cost(ITERATION_COST_SECS);
-        let mut cells = Vec::new();
-        for policy in PlacementPolicy::ALL {
-            let runtime = SimulatedRuntime::new(
-                topology.clone(),
-                EnvKind::MpiMadeleine,
-                ProblemKind::SparseLinear,
-            )
-            .with_placement(policy);
-            let sim = runtime.run(&kernel, &config);
-            let mean_utilization = if sim.host_loads.is_empty() {
-                0.0
-            } else {
-                sim.host_loads.iter().map(|l| l.utilization).sum::<f64>()
-                    / sim.host_loads.len() as f64
-            };
-            eprintln!(
-                "{m:>5} blocks / {:<14}: {:>9.2} s virtual, colocation <= {}, \
-                 cpu queue {:.2} s, mean utilization {:.0}%, converged: {}",
-                policy.label(),
-                sim.sim_time.as_secs(),
-                sim.placement.max_colocation(),
-                sim.report.cpu_queue_secs,
-                mean_utilization * 100.0,
-                sim.report.converged,
-            );
-            if !sim.report.converged {
-                eprintln!(
-                    "oversub: {m} blocks under {} did not converge",
-                    policy.label()
-                );
-                failures += 1;
-            }
-            cells.push(PolicyCell {
-                policy: policy.label().to_string(),
-                time_secs: sim.sim_time.as_secs(),
-                converged: sim.report.converged,
-                cpu_queue_secs: sim.report.cpu_queue_secs,
-                max_colocation: sim.placement.max_colocation(),
-                mean_utilization,
-            });
-        }
-        let best = cells
+        let time_of = |policy: PlacementPolicy| {
+            record
+                .cell(&format!("{m}-blocks/{}", policy.label()))
+                .and_then(|c| c.metric("sim_time_secs"))
+                .map(|metric| metric.value)
+                .unwrap_or(f64::NAN)
+        };
+        let times: Vec<(PlacementPolicy, f64)> = PlacementPolicy::ALL
+            .into_iter()
+            .map(|p| (p, time_of(p)))
+            .collect();
+        // A missing cell/metric shows as NaN in the table; skip it here so
+        // the "best" column degrades to "-" instead of panicking.
+        let best = times
             .iter()
-            .min_by(|a, b| a.time_secs.partial_cmp(&b.time_secs).expect("finite times"))
-            .map(|c| c.policy.clone())
-            .unwrap_or_default();
+            .filter(|(_, t)| !t.is_nan())
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN filtered out"))
+            .map(|(p, _)| p.label())
+            .unwrap_or("-");
         println!(
             "{:>7}  {:>14.2}  {:>14.2}  {:>16.2}  {}",
-            m, cells[0].time_secs, cells[1].time_secs, cells[2].time_secs, best
+            m, times[0].1, times[1].1, times[2].1, best
         );
-        // The heterogeneous cluster is the speed-weighted policy's home turf:
-        // equal per-host block counts leave the Durons on the critical path.
-        if cells[2].time_secs >= cells[0].time_secs {
-            eprintln!(
-                "oversub: speed-weighted ({:.2} s) failed to beat round-robin ({:.2} s) \
-                 at {m} blocks",
-                cells[2].time_secs, cells[0].time_secs
-            );
-            failures += 1;
+    }
+    for cell in &record.cells {
+        for failure in &cell.check_failures {
+            eprintln!("oversub: {}: {failure}", cell.cell);
+            failed = true;
         }
-        rows.push(SweepRow { blocks: m, cells });
     }
 
     println!();
     println!(
         "{}",
-        serde_json::to_string_pretty(&rows).expect("rows serialise to JSON")
+        serde_json::to_string_pretty(&record).expect("records serialise to JSON")
     );
-    if failures > 0 {
+    if failed {
         std::process::exit(1);
     }
     println!("ok: speed-weighted placement beat round-robin at every block count");

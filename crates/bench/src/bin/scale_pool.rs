@@ -1,30 +1,23 @@
 //! Worker-pool scale experiment: many blocks over few OS threads.
 //!
-//! Drives a block count far beyond anything the paper's grids used (default
-//! 1024) through the threaded executor in both modes:
-//!
-//! * the synchronous (SISC) path, whose barrier-separated supersteps keep the
-//!   old per-iteration exchange semantics and stay bit-comparable to the
-//!   sequential sweep;
-//! * the asynchronous (AIAC) worker pool, which multiplexes all blocks over a
-//!   fixed number of workers and exchanges data through newest-wins
-//!   coalescing mailboxes.
-//!
-//! The run proves two properties the one-thread-per-block executor could not
-//! offer: the process needs only `num_workers` OS threads regardless of the
-//! block count, and the peak in-flight data storage stays bounded by the
-//! dependency-edge count (checked here, and the process exits non-zero if
-//! either mode violates it).
+//! A thin wrapper over the harness's `scale_pool` spec
+//! ([`aiac_bench::harness::spec::scale_pool_spec`]): the ring contraction
+//! driven through the threaded executor in both modes — the synchronous
+//! (SISC) barrier-separated supersteps and the asynchronous (AIAC) worker
+//! pool with newest-wins coalescing mailboxes. The spec's checks assert
+//! the two properties the one-thread-per-block executor could not offer:
+//! the process needs only `num_workers` OS threads regardless of the block
+//! count, and peak in-flight data stays bounded by the dependency-edge
+//! count.
 //!
 //! Usage: `scale_pool [blocks] [workers]` — `blocks` defaults to 1024,
-//! `workers` to the machine's available parallelism. Malformed arguments and
-//! invalid configurations are *reported* (exit code 2), not panicked on.
+//! `workers` to the machine's available parallelism.
+//!
+//! Exit codes: 0 = both modes hit the fixed point within bounds,
+//! 1 = a check failed, 2 = malformed arguments.
 
-use aiac_bench::scale::ScaleRing;
-use aiac_core::config::RunConfig;
-use aiac_core::depgraph::DependencyGraph;
-use aiac_core::report::RunReport;
-use aiac_core::runtime::threaded::ThreadedRuntime;
+use aiac_bench::harness::run_spec;
+use aiac_bench::harness::spec::scale_pool_spec;
 
 /// Parsed command line: block count and optional explicit worker count.
 struct Args {
@@ -46,31 +39,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
     }
     if let Some(raw) = argv.next() {
-        args.workers = Some(
-            raw.parse()
-                .map_err(|_| format!("workers must be an integer, got {raw:?}"))?,
-        );
+        let workers: usize = raw
+            .parse()
+            .map_err(|_| format!("workers must be an integer, got {raw:?}"))?;
+        if workers == 0 {
+            return Err("workers must be at least 1".to_string());
+        }
+        args.workers = Some(workers);
     }
     if let Some(extra) = argv.next() {
         return Err(format!("unexpected extra argument {extra:?}"));
     }
     Ok(args)
-}
-
-fn describe(label: &str, report: &RunReport, workers: usize, edges: u64) {
-    println!(
-        "{label}: {:.3} s wall, converged = {}, {} OS workers, \
-         mean {:.1} iterations/block, {} data messages ({} coalesced), \
-         peak in-flight slots {} / {} edges",
-        report.elapsed_secs,
-        report.converged,
-        workers,
-        report.mean_iterations(),
-        report.data_messages,
-        report.coalesced_messages,
-        report.peak_mailbox_occupancy,
-        edges,
-    );
 }
 
 fn main() {
@@ -83,63 +63,30 @@ fn main() {
         }
     };
 
-    let kernel = ScaleRing::new(args.blocks);
-    let edges = DependencyGraph::from_kernel(&kernel).num_edges() as u64;
-    let mut sync_config = RunConfig::synchronous(1e-8);
-    let mut async_config = RunConfig::asynchronous(1e-8).with_streak(3);
-    if let Some(workers) = args.workers {
-        sync_config = sync_config.with_num_workers(workers);
-        async_config = async_config.with_num_workers(workers);
-    }
-    // Report malformed configurations (e.g. `scale_pool 1024 0`) instead of
-    // panicking deep inside run().
-    for config in [&sync_config, &async_config] {
-        if let Err(err) = config.try_validate() {
-            eprintln!("scale_pool: invalid configuration: {err}");
-            std::process::exit(2);
-        }
-    }
+    let spec = scale_pool_spec(args.blocks, args.workers);
+    let record = run_spec(&spec);
 
-    println!(
-        "scale experiment: {} blocks, {} dependency edges, fixed point {:.6}",
-        args.blocks,
-        edges,
-        kernel.fixed_point()
-    );
-
-    let runtime = ThreadedRuntime::new();
-    let mut failures = 0;
-    for (label, config) in [
-        ("sync  (SISC)", &sync_config),
-        ("async (AIAC)", &async_config),
-    ] {
-        let workers = config.effective_num_workers(args.blocks);
-        let report = match runtime.try_run(&kernel, config) {
-            Ok(report) => report,
-            Err(err) => {
-                eprintln!("scale_pool: {label} run failed: {err}");
-                std::process::exit(1);
-            }
-        };
-        describe(label, &report, workers, edges);
-        let max_err = report
-            .solution
-            .iter()
-            .map(|v| (v - kernel.fixed_point()).abs())
-            .fold(0.0f64, f64::max);
-        if !report.converged || max_err > 1e-5 {
-            eprintln!("scale_pool: {label} missed the fixed point (max error {max_err:.3e})");
-            failures += 1;
-        }
-        if report.peak_mailbox_occupancy > edges {
-            eprintln!(
-                "scale_pool: {label} exceeded the O(edges) bound: {} slots > {} edges",
-                report.peak_mailbox_occupancy, edges
-            );
-            failures += 1;
+    let mut failed = false;
+    for cell in &record.cells {
+        let metric = |name: &str| cell.metric(name).map(|m| m.value);
+        println!(
+            "{:<5}: {:.3} s wall, {} OS workers, {} iterations total, \
+             {} data messages ({} coalesced), peak in-flight slots {} / {} edges",
+            cell.cell,
+            metric("wall_median_secs").unwrap_or(f64::NAN),
+            metric("workers").unwrap_or(f64::NAN),
+            metric("total_iterations").unwrap_or(f64::NAN),
+            metric("data_messages").unwrap_or(f64::NAN),
+            metric("coalesced_messages").unwrap_or(f64::NAN),
+            metric("peak_mailbox_occupancy").unwrap_or(f64::NAN),
+            metric("edges").unwrap_or(f64::NAN),
+        );
+        for failure in &cell.check_failures {
+            eprintln!("scale_pool: {}: {failure}", cell.cell);
+            failed = true;
         }
     }
-    if failures > 0 {
+    if failed {
         std::process::exit(1);
     }
     println!("ok: both modes bounded in-flight data by the edge count");

@@ -1,8 +1,12 @@
 //! Regenerates Table 1: the parameters chosen for each problem.
 //!
-//! Prints both the paper's original values and the scaled values actually
-//! used by the default experiment runs (see `ExperimentScale`).
+//! A thin wrapper over the harness's parameter listing
+//! ([`aiac_bench::harness::spec::parameter_listing`]), which prints both
+//! the paper's original values and the scaled values the default experiment
+//! runs use (see `ExperimentScale`). The same parameters travel in every
+//! `bench_all` record as the `table1` experiment.
 
+use aiac_bench::harness::spec::parameter_listing;
 use aiac_bench::scale::ExperimentScale;
 use aiac_bench::table::render_listing;
 
@@ -10,49 +14,7 @@ fn main() {
     let scale = ExperimentScale::from_env();
     println!("{}", scale.describe());
     println!();
-
-    let sparse = vec![
-        (
-            "matrix size (paper)".to_string(),
-            "2000000 x 2000000".to_string(),
-        ),
-        (
-            "matrix size (this run)".to_string(),
-            format!("{n} x {n}", n = scale.sparse_n),
-        ),
-        (
-            "repartition of non-zero values".to_string(),
-            "30 sub-diagonals (scattered)".to_string(),
-        ),
-        (
-            "Jacobi contraction bound".to_string(),
-            "0.9 (spectral radius < 1)".to_string(),
-        ),
-        ("processors".to_string(), format!("{}", scale.sparse_blocks)),
-    ];
-    println!(
-        "{}",
-        render_listing("Table 1a - Sparse linear system", &sparse)
-    );
-
-    let chemical = vec![
-        (
-            "discretization grid (paper)".to_string(),
-            "600 x 600".to_string(),
-        ),
-        (
-            "discretization grid (this run)".to_string(),
-            format!("{g} x {g}", g = scale.chem_grid),
-        ),
-        (
-            "time interval".to_string(),
-            format!("{} s", scale.chem_t_end),
-        ),
-        ("time step".to_string(), "180 s".to_string()),
-        ("processors".to_string(), format!("{}", scale.chem_blocks)),
-    ];
-    println!(
-        "{}",
-        render_listing("Table 1b - Non-linear problem", &chemical)
-    );
+    for (title, entries) in parameter_listing(&scale) {
+        println!("{}", render_listing(&title, &entries));
+    }
 }

@@ -1,17 +1,42 @@
-//! Regenerates Table 2: execution times for the sparse linear problem on the
-//! distant heterogeneous grid (three sites over 10 Mb Ethernet).
+//! Regenerates Table 2: execution times for the sparse linear problem on
+//! the distant heterogeneous grid (three sites over 10 Mb Ethernet).
 //!
-//! Four versions are compared, exactly as in the paper: the synchronous MPI
-//! baseline and the asynchronous AIAC implementations over the PM2,
-//! MPICH/Madeleine and OmniORB 4 environment models. Speed ratios are
-//! computed against the synchronous run.
+//! A thin wrapper over the harness: the experiment itself is the `table2`
+//! spec ([`aiac_bench::harness::spec::table2_spec`]) — the synchronous MPI
+//! baseline and the three asynchronous AIAC environments, speed ratios
+//! against the synchronous run — and this binary renders its record in the
+//! paper's table layout plus the JSON rows.
+//!
+//! Exits 1 if any of the spec's checks (convergence, async-beats-sync,
+//! solution error) failed.
 
-use aiac_bench::experiments::sparse_experiment;
+use aiac_bench::harness::spec::table2_spec;
+use aiac_bench::harness::{run_spec, ExperimentRecord};
 use aiac_bench::scale::ExperimentScale;
 use aiac_bench::table::{render_table, TableRow};
-use aiac_envs::env::EnvKind;
-use aiac_netsim::topology::GridTopology;
-use aiac_solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
+use aiac_envs::profile::EnvProfile;
+
+/// Maps the record's cells onto the paper's table rows.
+fn rows_of(record: &ExperimentRecord) -> Vec<TableRow> {
+    let sync_time = record
+        .cell(EnvProfile::SyncMpi.slug())
+        .and_then(|c| c.metric("sim_time_secs"))
+        .map(|m| m.value)
+        .expect("the spec always runs the synchronous baseline");
+    record
+        .cells
+        .iter()
+        .filter_map(|cell| {
+            let time = cell.metric("sim_time_secs")?.value;
+            let label = cell
+                .env
+                .parse::<EnvProfile>()
+                .map(|p| p.label().to_string())
+                .unwrap_or_else(|_| cell.env.clone());
+            Some(TableRow::new("Ethernet", &label, time, sync_time))
+        })
+        .collect()
+}
 
 fn main() {
     let scale = ExperimentScale::from_env();
@@ -20,50 +45,10 @@ fn main() {
         "generating the sparse matrix ({} unknowns)...",
         scale.sparse_n
     );
-    let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(
-        scale.sparse_n,
-        scale.sparse_blocks,
-    ));
-    let topology = GridTopology::ethernet_3_sites(scale.sparse_blocks);
+    let spec = table2_spec(scale.sparse_n, scale.sparse_blocks, &scale);
+    let record = run_spec(&spec);
 
-    let mut rows = Vec::new();
-    let sync = sparse_experiment(
-        &problem,
-        &topology,
-        EnvKind::MpiSync,
-        scale.epsilon,
-        scale.streak,
-    );
-    eprintln!(
-        "sync MPI: {:.1} s (converged: {}, error vs exact: {:.2e})",
-        sync.elapsed_secs,
-        sync.converged,
-        problem.error_of(&sync.solution)
-    );
-    rows.push(TableRow::new(
-        "Ethernet",
-        EnvKind::MpiSync.label(),
-        sync.elapsed_secs,
-        sync.elapsed_secs,
-    ));
-    for env in EnvKind::ASYNC {
-        let report = sparse_experiment(&problem, &topology, env, scale.epsilon, scale.streak);
-        eprintln!(
-            "{}: {:.1} s (converged: {}, error vs exact: {:.2e}, {} data messages)",
-            env.label(),
-            report.elapsed_secs,
-            report.converged,
-            problem.error_of(&report.solution),
-            report.data_messages
-        );
-        rows.push(TableRow::new(
-            "Ethernet",
-            env.label(),
-            report.elapsed_secs,
-            sync.elapsed_secs,
-        ));
-    }
-
+    let rows = rows_of(&record);
     println!(
         "{}",
         render_table(
@@ -75,4 +60,15 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&rows).expect("rows serialise to JSON")
     );
+
+    let mut failed = false;
+    for cell in &record.cells {
+        for failure in &cell.check_failures {
+            eprintln!("table2: {}: {failure}", cell.cell);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,470 @@
+//! Baseline comparison — the regression gate.
+//!
+//! [`compare`] takes a committed baseline [`BenchRecord`] and a freshly
+//! measured candidate, matches their *gateable* metrics (deterministic,
+//! directional — see [`BenchRecord::gateable_metrics`]) by their
+//! `experiment/cell/metric` keys, and classifies each delta against a
+//! [`Tolerance`]. The gate fails when any metric moved beyond tolerance in
+//! its bad direction, or when a baseline metric disappeared from the
+//! candidate (a silently dropped measurement must not pass as a green run).
+//! Metrics that are new in the candidate are reported but do not fail the
+//! gate — that is how a PR adds experiments before refreshing the baseline.
+
+use crate::harness::record::{BenchRecord, MetricDirection};
+use serde::{Deserialize, Serialize};
+
+/// How far a metric may drift before the gate fails.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tolerance {
+    /// Relative headroom (0.10 = 10% beyond the baseline is still fine).
+    pub rel: f64,
+    /// Absolute headroom, which keeps zero-valued baselines gateable
+    /// (a queue that was 0.0 s may grow to `abs` before failing).
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// Builds a tolerance, validating both bounds.
+    ///
+    /// # Panics
+    /// Panics if either bound is negative or not finite.
+    pub fn new(rel: f64, abs: f64) -> Self {
+        assert!(rel.is_finite() && rel >= 0.0, "rel tolerance must be >= 0");
+        assert!(abs.is_finite() && abs >= 0.0, "abs tolerance must be >= 0");
+        Tolerance { rel, abs }
+    }
+
+    /// The largest candidate value a baseline of `base` tolerates, in the
+    /// worsening direction (add for lower-is-better, subtract for
+    /// higher-is-better).
+    fn headroom(&self, base: f64) -> f64 {
+        base.abs() * self.rel + self.abs
+    }
+}
+
+impl Default for Tolerance {
+    /// 10% relative + 1e-6 absolute: deterministic metrics replay exactly,
+    /// so any drift means the code changed behaviour; the headroom only
+    /// keeps incidental changes (an extra control message, a reordered
+    /// float sum) from blocking unrelated PRs.
+    fn default() -> Self {
+        Tolerance {
+            rel: 0.10,
+            abs: 1e-6,
+        }
+    }
+}
+
+/// Classification of one metric's movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaStatus {
+    /// Within tolerance of the baseline.
+    Within,
+    /// Beyond tolerance in the *good* direction (worth refreshing the
+    /// baseline so the gain is locked in).
+    Improved,
+    /// Beyond tolerance in the bad direction: fails the gate.
+    Regressed,
+    /// Present in the baseline, absent from the candidate: fails the gate.
+    MissingInCandidate,
+    /// Absent from the baseline (a new experiment or metric): reported,
+    /// does not fail the gate.
+    NewInCandidate,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDelta {
+    /// `experiment/cell/metric` key.
+    pub key: String,
+    /// Baseline value (`None` for [`DeltaStatus::NewInCandidate`]).
+    pub baseline: Option<f64>,
+    /// Candidate value (`None` for [`DeltaStatus::MissingInCandidate`]).
+    pub candidate: Option<f64>,
+    /// Signed relative change in the *bad* direction (+0.25 = 25% worse,
+    /// −0.10 = 10% better); `None` when either side is absent.
+    pub worsening: Option<f64>,
+    /// The verdict.
+    pub status: DeltaStatus,
+}
+
+/// The gate's full verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateReport {
+    /// The tolerance the comparison used.
+    pub tolerance: Tolerance,
+    /// Every compared metric, in key order.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl GateReport {
+    /// The deltas that fail the gate.
+    pub fn failures(&self) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.status,
+                    DeltaStatus::Regressed | DeltaStatus::MissingInCandidate
+                )
+            })
+            .collect()
+    }
+
+    /// True when no metric regressed or went missing.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Human-readable one-line-per-delta summary (failures first).
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut rest = Vec::new();
+        for d in &self.deltas {
+            let line = match d.status {
+                DeltaStatus::Regressed => format!(
+                    "REGRESSED  {}: {} -> {} ({:+.1}%)",
+                    d.key,
+                    fmt(d.baseline),
+                    fmt(d.candidate),
+                    d.worsening.unwrap_or(f64::NAN) * 100.0
+                ),
+                DeltaStatus::MissingInCandidate => {
+                    format!(
+                        "MISSING    {}: baseline {} has no candidate",
+                        d.key,
+                        fmt(d.baseline)
+                    )
+                }
+                DeltaStatus::Improved => format!(
+                    "improved   {}: {} -> {} ({:+.1}%)",
+                    d.key,
+                    fmt(d.baseline),
+                    fmt(d.candidate),
+                    d.worsening.unwrap_or(f64::NAN) * 100.0
+                ),
+                DeltaStatus::NewInCandidate => {
+                    format!("new        {}: {}", d.key, fmt(d.candidate))
+                }
+                DeltaStatus::Within => format!(
+                    "ok         {}: {} -> {}",
+                    d.key,
+                    fmt(d.baseline),
+                    fmt(d.candidate)
+                ),
+            };
+            if matches!(
+                d.status,
+                DeltaStatus::Regressed | DeltaStatus::MissingInCandidate
+            ) {
+                lines.push(line);
+            } else {
+                rest.push(line);
+            }
+        }
+        lines.extend(rest);
+        lines
+    }
+}
+
+fn fmt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.6}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Compares a candidate record against a baseline.
+///
+/// # Errors
+/// Returns an error when the records validate differently (schema version)
+/// or were produced by different suites or problem scales — comparing a
+/// smoke candidate to a full baseline, or a paper-scale (`AIAC_FULL=1`)
+/// run to a scaled one, would report nonsense deltas.
+pub fn compare(
+    baseline: &BenchRecord,
+    candidate: &BenchRecord,
+    tolerance: Tolerance,
+) -> Result<GateReport, String> {
+    baseline.validate().map_err(|e| format!("baseline: {e}"))?;
+    candidate
+        .validate()
+        .map_err(|e| format!("candidate: {e}"))?;
+    if baseline.suite != candidate.suite {
+        return Err(format!(
+            "suite mismatch: baseline is {:?}, candidate is {:?}",
+            baseline.suite, candidate.suite
+        ));
+    }
+    if baseline.full_scale != candidate.full_scale {
+        return Err(format!(
+            "scale mismatch: baseline full_scale = {}, candidate full_scale = {} \
+             (was one of them produced under AIAC_FULL=1?)",
+            baseline.full_scale, candidate.full_scale
+        ));
+    }
+    let base_metrics = baseline.gateable_metrics();
+    let cand_metrics = candidate.gateable_metrics();
+    let mut deltas = Vec::new();
+    for (key, &(base, direction)) in &base_metrics {
+        match cand_metrics.get(key) {
+            None => deltas.push(MetricDelta {
+                key: key.clone(),
+                baseline: Some(base),
+                candidate: None,
+                worsening: None,
+                status: DeltaStatus::MissingInCandidate,
+            }),
+            Some(&(cand, _)) => {
+                // The worsening is measured along the metric's bad
+                // direction: positive = worse, negative = better.
+                let bad_move = match direction {
+                    MetricDirection::LowerIsBetter => cand - base,
+                    MetricDirection::HigherIsBetter => base - cand,
+                    MetricDirection::Informational => {
+                        unreachable!("informational metrics are not gateable")
+                    }
+                };
+                let headroom = tolerance.headroom(base);
+                let status = if bad_move > headroom {
+                    DeltaStatus::Regressed
+                } else if -bad_move > headroom {
+                    DeltaStatus::Improved
+                } else {
+                    DeltaStatus::Within
+                };
+                let worsening = if base != 0.0 {
+                    Some(bad_move / base.abs())
+                } else {
+                    None
+                };
+                deltas.push(MetricDelta {
+                    key: key.clone(),
+                    baseline: Some(base),
+                    candidate: Some(cand),
+                    worsening,
+                    status,
+                });
+            }
+        }
+    }
+    for (key, &(cand, _)) in &cand_metrics {
+        if !base_metrics.contains_key(key) {
+            deltas.push(MetricDelta {
+                key: key.clone(),
+                baseline: None,
+                candidate: Some(cand),
+                worsening: None,
+                status: DeltaStatus::NewInCandidate,
+            });
+        }
+    }
+    Ok(GateReport { tolerance, deltas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::record::{
+        BenchRecord, CellRecord, ExperimentRecord, MetricSample, SCHEMA_VERSION,
+    };
+
+    fn record_with(values: &[(&str, f64)]) -> BenchRecord {
+        BenchRecord {
+            schema_version: SCHEMA_VERSION,
+            suite: "smoke".to_string(),
+            full_scale: false,
+            experiments: vec![ExperimentRecord {
+                experiment: "exp".to_string(),
+                cells: vec![CellRecord {
+                    cell: "cell".to_string(),
+                    env: "sync-mpi".to_string(),
+                    blocks: 4,
+                    metrics: values
+                        .iter()
+                        .map(|(name, v)| MetricSample::gauge(name, *v))
+                        .collect(),
+                    check_failures: Vec::new(),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let base = record_with(&[("t", 10.0), ("q", 0.0)]);
+        let report = compare(&base, &base.clone(), Tolerance::default()).unwrap();
+        assert!(report.passed());
+        assert!(report
+            .deltas
+            .iter()
+            .all(|d| d.status == DeltaStatus::Within));
+    }
+
+    #[test]
+    fn a_2x_slowdown_fails_the_gate() {
+        let base = record_with(&[("t", 10.0)]);
+        let cand = record_with(&[("t", 20.0)]);
+        let report = compare(&base, &cand, Tolerance::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures().len(), 1);
+        assert_eq!(report.deltas[0].status, DeltaStatus::Regressed);
+        assert!((report.deltas[0].worsening.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvements_beyond_tolerance_do_not_fail() {
+        let base = record_with(&[("t", 10.0)]);
+        let cand = record_with(&[("t", 5.0)]);
+        let report = compare(&base, &cand, Tolerance::default()).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.deltas[0].status, DeltaStatus::Improved);
+    }
+
+    #[test]
+    fn higher_is_better_metrics_fail_on_shrinkage() {
+        let mk = |v: f64| {
+            let mut r = record_with(&[]);
+            r.experiments[0].cells[0]
+                .metrics
+                .push(MetricSample::gauge("ratio", v).higher_is_better());
+            r
+        };
+        let report = compare(&mk(2.0), &mk(1.0), Tolerance::default()).unwrap();
+        assert!(!report.passed());
+        let report = compare(&mk(2.0), &mk(3.0), Tolerance::default()).unwrap();
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn missing_metrics_fail_but_new_metrics_pass() {
+        let base = record_with(&[("t", 10.0)]);
+        let cand = record_with(&[("u", 10.0)]);
+        let report = compare(&base, &cand, Tolerance::default()).unwrap();
+        assert!(!report.passed());
+        let statuses: Vec<DeltaStatus> = report.deltas.iter().map(|d| d.status).collect();
+        assert!(statuses.contains(&DeltaStatus::MissingInCandidate));
+        assert!(statuses.contains(&DeltaStatus::NewInCandidate));
+    }
+
+    #[test]
+    fn zero_baselines_use_the_absolute_headroom() {
+        let base = record_with(&[("q", 0.0)]);
+        let ok = record_with(&[("q", 1e-7)]);
+        let bad = record_with(&[("q", 0.5)]);
+        let tol = Tolerance::default();
+        assert!(compare(&base, &ok, tol).unwrap().passed());
+        assert!(!compare(&base, &bad, tol).unwrap().passed());
+    }
+
+    #[test]
+    fn suite_mismatch_is_an_error() {
+        let base = record_with(&[("t", 1.0)]);
+        let mut cand = record_with(&[("t", 1.0)]);
+        cand.suite = "full".to_string();
+        assert!(compare(&base, &cand, Tolerance::default()).is_err());
+    }
+
+    #[test]
+    fn summary_lines_lead_with_failures() {
+        let base = record_with(&[("a", 1.0), ("t", 10.0)]);
+        let cand = record_with(&[("a", 1.0), ("t", 30.0)]);
+        let report = compare(&base, &cand, Tolerance::default()).unwrap();
+        let lines = report.summary_lines();
+        assert!(lines[0].starts_with("REGRESSED"), "{lines:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rel tolerance")]
+    fn negative_tolerance_is_rejected() {
+        Tolerance::new(-0.1, 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// A delta within tolerance never fails the gate, for either
+            /// gate direction.
+            #[test]
+            fn prop_within_tolerance_never_fails(
+                base in 0.1f64..1e4,
+                frac in 0.0f64..0.99,
+                rel in 0.01f64..0.5,
+                worse in 0u32..2
+            ) {
+                let tol = Tolerance::new(rel, 1e-9);
+                // Drift strictly inside the relative headroom, worsening
+                // or improving depending on `worse`.
+                let drift = base * rel * frac * if worse == 0 { 1.0 } else { -1.0 };
+                let baseline = record_with(&[("t", base)]);
+                let cand = record_with(&[("t", base + drift)]);
+                let report = compare(&baseline, &cand, tol).unwrap();
+                prop_assert!(
+                    report.passed(),
+                    "drift {drift} within rel {rel} of {base} must pass"
+                );
+            }
+
+            /// Worsening beyond tolerance always fails, and worsening
+            /// further never un-fails the gate (monotonicity).
+            #[test]
+            fn prop_monotone_worsening_beyond_tolerance_always_fails(
+                base in 0.1f64..1e4,
+                rel in 0.01f64..0.5,
+                excess in 1.05f64..4.0,
+                further in 1.0f64..4.0
+            ) {
+                let tol = Tolerance::new(rel, 1e-9);
+                // A worsening of base·rel·excess, strictly beyond the
+                // headroom, in the bad direction of each gate kind.
+                let worsening = base * rel * excess;
+                let lower = |v: f64| record_with(&[("t", v)]);
+                let report =
+                    compare(&lower(base), &lower(base + worsening), tol).unwrap();
+                prop_assert!(!report.passed(), "worsening {worsening} must fail");
+                let worse_still =
+                    compare(&lower(base), &lower(base + worsening * further), tol)
+                        .unwrap();
+                prop_assert!(!worse_still.passed(), "worsening further must keep failing");
+
+                let higher = |v: f64| {
+                    let mut r = record_with(&[]);
+                    r.experiments[0].cells[0]
+                        .metrics
+                        .push(MetricSample::gauge("ratio", v).higher_is_better());
+                    r
+                };
+                // The higher-is-better mirror: shrink beyond the baseline's
+                // own headroom (headroom is computed on the baseline value).
+                let report =
+                    compare(&higher(base), &higher(base - worsening), tol).unwrap();
+                prop_assert!(!report.passed(), "shrinkage of a ratio must fail");
+            }
+
+            /// Records survive the JSON round trip bit for bit, so a
+            /// committed baseline re-read months later gates exactly what
+            /// was measured.
+            #[test]
+            fn prop_record_round_trips_through_json(
+                values in proptest::collection::vec(0.0f64..1e6, 1..8),
+                blocks in 1usize..2048
+            ) {
+                let mut record = record_with(&[]);
+                record.experiments[0].cells[0].blocks = blocks;
+                for (i, v) in values.iter().enumerate() {
+                    let sample = match i % 3 {
+                        0 => MetricSample::gauge(&format!("m{i}"), *v),
+                        1 => MetricSample::wall(&format!("m{i}"), *v),
+                        _ => MetricSample::info(&format!("m{i}"), *v),
+                    };
+                    record.experiments[0].cells[0].metrics.push(sample);
+                }
+                let text = record.to_json_pretty();
+                let back = BenchRecord::from_json(&text).unwrap();
+                prop_assert_eq!(back, record);
+            }
+        }
+    }
+}

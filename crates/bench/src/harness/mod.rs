@@ -1,0 +1,47 @@
+//! The unified experiment harness.
+//!
+//! The paper's contribution is a *measured comparison*, so the reproduction
+//! treats its performance numbers as first-class, continuously verified
+//! artifacts. This subsystem turns the historical pile of ad-hoc bench
+//! binaries into one pipeline:
+//!
+//! ```text
+//! spec::registry ──> runner::run_registry ──> record::BenchRecord (JSON)
+//!                                                      │
+//!                        baseline::compare <── BENCH_baseline.json
+//! ```
+//!
+//! * [`spec`] — declarative [`spec::ExperimentSpec`]s: problem, platform,
+//!   environment-profile sweep, placement sweep, warmup/repeat counts and
+//!   the invariants ([`spec::Check`]) a run must satisfy. The standing
+//!   registry holds the four ported experiments (`table1`, `table2`,
+//!   `scale_pool`, `oversub`).
+//! * [`runner`] — executes specs against the simulated (virtual-time) and
+//!   threaded (real worker-pool) runtimes and collects the results.
+//! * [`stats`] — min/median/p95 reduction of repeated wall-clock samples,
+//!   with NaN rejection.
+//! * [`record`] — the versioned, machine-readable [`record::BenchRecord`]
+//!   schema; deterministic simulated-clock metrics are flagged as gateable.
+//! * [`baseline`] — compares a candidate record against the committed
+//!   `BENCH_baseline.json` under a configurable [`baseline::Tolerance`] and
+//!   renders the regression verdict CI acts on.
+//!
+//! The `bench_all` binary drives the registry (`--smoke`/`--full`,
+//! `--json`); the `bench_gate` binary exits non-zero when [`baseline`]
+//! reports a regression.
+
+pub mod baseline;
+pub mod record;
+pub mod runner;
+pub mod spec;
+pub mod stats;
+
+pub use baseline::{compare, DeltaStatus, GateReport, MetricDelta, Tolerance};
+pub use record::{
+    BenchRecord, CellRecord, ExperimentRecord, MetricDirection, MetricSample, SCHEMA_VERSION,
+};
+pub use runner::{run_registry, run_spec, run_specs};
+pub use spec::{
+    registry, Check, ExperimentKind, ExperimentSpec, Fidelity, PlatformSpec, ProblemSpec,
+};
+pub use stats::{percentile, Summary};

@@ -1,0 +1,347 @@
+//! The versioned benchmark-record schema.
+//!
+//! A [`BenchRecord`] is the machine-readable output of one harness
+//! invocation: one [`ExperimentRecord`] per spec, one [`CellRecord`] per
+//! swept configuration, and one [`MetricSample`] per measured quantity.
+//! Records serialise to JSON (`BENCH_results.json` artifacts,
+//! `BENCH_baseline.json` committed in the repo root) and parse back, which
+//! is what the [`baseline`](crate::harness::baseline) comparator gates on.
+//!
+//! Two attributes drive the gate:
+//!
+//! * `deterministic` — virtual-clock quantities from the simulated runtime
+//!   reproduce bit-identically on any machine and are compared against the
+//!   baseline; wall-clock quantities vary with the host and are recorded
+//!   for trend-watching only.
+//! * `direction` — whether a larger value is a regression
+//!   ([`MetricDirection::LowerIsBetter`]), an improvement, or neither
+//!   (purely informational).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Version of the record layout. Bump when the schema changes shape;
+/// the comparator refuses to gate across versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// How a metric's value relates to "better".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricDirection {
+    /// Smaller is better (times, message counts): growth is a regression.
+    LowerIsBetter,
+    /// Larger is better (speed ratios): shrinkage is a regression.
+    HigherIsBetter,
+    /// Neither: recorded for context, never gated.
+    Informational,
+}
+
+/// One measured quantity of one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Metric name, unique within its cell (e.g. `"sim_time_secs"`).
+    pub name: String,
+    /// The value.
+    pub value: f64,
+    /// True when the value reproduces bit-identically on any machine
+    /// (simulated virtual-clock quantities). Only deterministic metrics
+    /// are compared against the baseline.
+    pub deterministic: bool,
+    /// Which way "worse" points.
+    pub direction: MetricDirection,
+}
+
+impl MetricSample {
+    /// A deterministic, gateable lower-is-better sample.
+    pub fn gauge(name: &str, value: f64) -> Self {
+        MetricSample {
+            name: name.to_string(),
+            value,
+            deterministic: true,
+            direction: MetricDirection::LowerIsBetter,
+        }
+    }
+
+    /// A nondeterministic (wall-clock) lower-is-better sample.
+    pub fn wall(name: &str, value: f64) -> Self {
+        MetricSample {
+            name: name.to_string(),
+            value,
+            deterministic: false,
+            direction: MetricDirection::LowerIsBetter,
+        }
+    }
+
+    /// A deterministic context sample that is never gated.
+    pub fn info(name: &str, value: f64) -> Self {
+        MetricSample {
+            name: name.to_string(),
+            value,
+            deterministic: true,
+            direction: MetricDirection::Informational,
+        }
+    }
+
+    /// Flips the direction to higher-is-better (builder style).
+    pub fn higher_is_better(mut self) -> Self {
+        self.direction = MetricDirection::HigherIsBetter;
+        self
+    }
+}
+
+/// One swept configuration of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Cell key, unique within the experiment (e.g. `"async-pm2"` or
+    /// `"128-blocks/speed-weighted"`).
+    pub cell: String,
+    /// Environment-profile slug the cell ran under.
+    pub env: String,
+    /// Number of blocks of the run (0 for parameter-only cells).
+    pub blocks: usize,
+    /// The measured quantities.
+    pub metrics: Vec<MetricSample>,
+    /// Human-readable descriptions of every failed [`Check`]
+    /// (empty = the cell is healthy).
+    ///
+    /// [`Check`]: crate::harness::spec::Check
+    pub check_failures: Vec<String>,
+}
+
+impl CellRecord {
+    /// Looks a metric up by name.
+    pub fn metric(&self, name: &str) -> Option<&MetricSample> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+/// All cells of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// The spec's name (`"table2"`, `"oversub"`, ...).
+    pub experiment: String,
+    /// One record per swept configuration, in sweep order.
+    pub cells: Vec<CellRecord>,
+}
+
+impl ExperimentRecord {
+    /// Looks a cell up by key.
+    pub fn cell(&self, key: &str) -> Option<&CellRecord> {
+        self.cells.iter().find(|c| c.cell == key)
+    }
+}
+
+/// The root of the schema: one harness invocation's complete output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Which suite produced the record (`"smoke"` or `"full"`).
+    pub suite: String,
+    /// Whether the paper-scale problem sizes (`AIAC_FULL=1`) were in force.
+    pub full_scale: bool,
+    /// One record per experiment, in registry order.
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+impl BenchRecord {
+    /// Creates an empty record for `suite`.
+    pub fn new(suite: &str, full_scale: bool) -> Self {
+        BenchRecord {
+            schema_version: SCHEMA_VERSION,
+            suite: suite.to_string(),
+            full_scale,
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Looks an experiment up by name.
+    pub fn experiment(&self, name: &str) -> Option<&ExperimentRecord> {
+        self.experiments.iter().find(|e| e.experiment == name)
+    }
+
+    /// Renders the record as pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("records always serialise")
+    }
+
+    /// Parses and validates a record from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let record: BenchRecord =
+            serde_json::from_str(text).map_err(|e| format!("malformed record JSON: {e}"))?;
+        record.validate()?;
+        Ok(record)
+    }
+
+    /// Checks the schema invariants: supported version, unique
+    /// experiment/cell/metric keys, finite deterministic values.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {} (this build reads version {})",
+                self.schema_version, SCHEMA_VERSION
+            ));
+        }
+        let mut seen = BTreeMap::new();
+        for exp in &self.experiments {
+            for cell in &exp.cells {
+                for metric in &cell.metrics {
+                    let key = metric_key(&exp.experiment, &cell.cell, &metric.name);
+                    if seen.insert(key.clone(), ()).is_some() {
+                        return Err(format!("duplicate metric key {key:?}"));
+                    }
+                    if metric.deterministic && !metric.value.is_finite() {
+                        return Err(format!(
+                            "deterministic metric {key:?} has non-finite value {}",
+                            metric.value
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens the record's *gateable* metrics — deterministic and with a
+    /// non-informational direction — keyed `experiment/cell/metric`.
+    pub fn gateable_metrics(&self) -> BTreeMap<String, (f64, MetricDirection)> {
+        let mut out = BTreeMap::new();
+        for exp in &self.experiments {
+            for cell in &exp.cells {
+                for metric in &cell.metrics {
+                    if metric.deterministic && metric.direction != MetricDirection::Informational {
+                        out.insert(
+                            metric_key(&exp.experiment, &cell.cell, &metric.name),
+                            (metric.value, metric.direction),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every check failure across every cell, prefixed with its location.
+    pub fn check_failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for exp in &self.experiments {
+            for cell in &exp.cells {
+                for failure in &cell.check_failures {
+                    out.push(format!("{}/{}: {failure}", exp.experiment, cell.cell));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when no cell recorded a check failure.
+    pub fn all_checks_passed(&self) -> bool {
+        self.experiments
+            .iter()
+            .all(|e| e.cells.iter().all(|c| c.check_failures.is_empty()))
+    }
+}
+
+/// The canonical `experiment/cell/metric` key of one metric.
+pub fn metric_key(experiment: &str, cell: &str, metric: &str) -> String {
+    format!("{experiment}/{cell}/{metric}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> BenchRecord {
+        BenchRecord {
+            schema_version: SCHEMA_VERSION,
+            suite: "smoke".to_string(),
+            full_scale: false,
+            experiments: vec![ExperimentRecord {
+                experiment: "table2".to_string(),
+                cells: vec![CellRecord {
+                    cell: "async-pm2".to_string(),
+                    env: "async-pm2".to_string(),
+                    blocks: 6,
+                    metrics: vec![
+                        MetricSample::gauge("sim_time_secs", 12.5),
+                        MetricSample::wall("wall_median_secs", 0.3),
+                        MetricSample::info("max_colocation", 1.0),
+                        MetricSample::gauge("speed_ratio", 1.8).higher_is_better(),
+                    ],
+                    check_failures: Vec::new(),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let record = sample_record();
+        let text = record.to_json_pretty();
+        let back = BenchRecord::from_json(&text).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn gateable_metrics_exclude_wall_and_informational_samples() {
+        let metrics = sample_record().gateable_metrics();
+        assert_eq!(metrics.len(), 2);
+        assert!(metrics.contains_key("table2/async-pm2/sim_time_secs"));
+        assert!(metrics.contains_key("table2/async-pm2/speed_ratio"));
+        assert!(!metrics.contains_key("table2/async-pm2/wall_median_secs"));
+        assert!(!metrics.contains_key("table2/async-pm2/max_colocation"));
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut record = sample_record();
+        record.schema_version = SCHEMA_VERSION + 1;
+        let err = BenchRecord::from_json(&record.to_json_pretty()).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_metric_keys_are_rejected() {
+        let mut record = sample_record();
+        let dup = record.experiments[0].cells[0].metrics[0].clone();
+        record.experiments[0].cells[0].metrics.push(dup);
+        let err = record.validate().unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_deterministic_values_are_rejected() {
+        let mut record = sample_record();
+        record.experiments[0].cells[0].metrics[0].value = f64::INFINITY;
+        assert!(record.validate().is_err());
+        // ... but a non-finite *wall* sample is tolerated (a hung warmup
+        // on a loaded machine should not corrupt the record).
+        let mut record = sample_record();
+        record.experiments[0].cells[0].metrics[1].value = f64::INFINITY;
+        assert!(record.validate().is_ok());
+    }
+
+    #[test]
+    fn check_failures_are_located_and_flip_the_verdict() {
+        let mut record = sample_record();
+        assert!(record.all_checks_passed());
+        record.experiments[0].cells[0]
+            .check_failures
+            .push("did not converge".to_string());
+        assert!(!record.all_checks_passed());
+        let failures = record.check_failures();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("table2/async-pm2:"));
+    }
+
+    #[test]
+    fn lookups_find_experiments_cells_and_metrics() {
+        let record = sample_record();
+        let cell = record
+            .experiment("table2")
+            .and_then(|e| e.cell("async-pm2"))
+            .unwrap();
+        assert_eq!(cell.metric("sim_time_secs").unwrap().value, 12.5);
+        assert!(record.experiment("nope").is_none());
+        assert!(cell.metric("nope").is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! Sample statistics for repeated measurements.
+//!
+//! The harness runs every experiment cell `repeats` times and reduces the
+//! wall-clock samples to a [`Summary`] (min / median / p95 / max / mean).
+//! The reduction rejects NaN up front — a NaN sample means the measurement
+//! itself is broken, and letting it propagate would silently poison every
+//! order statistic — and uses linear interpolation between order statistics
+//! for percentiles, so the p95 of a two-sample run is well-defined instead
+//! of degenerating to the maximum.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a set of samples could not be summarised.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatsError {
+    /// No samples were provided.
+    Empty,
+    /// A sample was NaN (its index is recorded).
+    NaNSample {
+        /// Index of the offending sample in the input slice.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::Empty => f.write_str("cannot summarise an empty sample set"),
+            StatsError::NaNSample { index } => {
+                write!(f, "sample {index} is NaN; refusing to summarise")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Order statistics of one cell's repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (mean of the two middle samples for even `n`).
+    pub median: f64,
+    /// 95th percentile (linear interpolation between order statistics).
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarises the samples.
+    ///
+    /// # Errors
+    /// [`StatsError::Empty`] for an empty slice, [`StatsError::NaNSample`]
+    /// if any sample is NaN (infinities are allowed — they are honest, if
+    /// alarming, measurements and order statistics handle them).
+    pub fn from_samples(samples: &[f64]) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        if let Some(index) = samples.iter().position(|x| x.is_nan()) {
+            return Err(StatsError::NaNSample { index });
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN was rejected above"));
+        Ok(Summary {
+            n: sorted.len(),
+            min: sorted[0],
+            median: percentile(&sorted, 0.5),
+            p95: percentile(&sorted, 0.95),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        })
+    }
+}
+
+/// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) of an ascending-sorted, non-empty,
+/// NaN-free slice, by linear interpolation between the two nearest order
+/// statistics (the "R-7" rule most statistics packages default to).
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`. Callers are
+/// expected to have gone through [`Summary::from_samples`]'s validation.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median of an ascending-sorted, non-empty, NaN-free slice.
+pub fn median(sorted: &[f64]) -> f64 {
+    percentile(sorted, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_collapses_every_statistic() {
+        let s = Summary::from_samples(&[3.5]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.p95, 3.5);
+        assert_eq!(s.max, 3.5);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    fn even_sample_count_interpolates_the_median() {
+        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.5, "mean of the two middle samples");
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        // p95 interpolates between the 3rd and 4th order statistics:
+        // rank = 0.95 * 3 = 2.85 → 3.0 * 0.15 + 4.0 * 0.85
+        assert!((s.p95 - 3.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_sample_count_takes_the_middle_sample() {
+        let s = Summary::from_samples(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn nan_samples_are_rejected_with_their_index() {
+        assert_eq!(
+            Summary::from_samples(&[1.0, f64::NAN, 3.0]),
+            Err(StatsError::NaNSample { index: 1 })
+        );
+        assert!(Summary::from_samples(&[1.0, f64::NAN])
+            .unwrap_err()
+            .to_string()
+            .contains("sample 1"));
+    }
+
+    #[test]
+    fn empty_sample_set_is_rejected() {
+        assert_eq!(Summary::from_samples(&[]), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn infinities_are_summarised_honestly() {
+        let s = Summary::from_samples(&[1.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.max, f64::INFINITY);
+        assert_eq!(s.min, 1.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_are_min_and_max() {
+        let sorted = [1.0, 2.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+        assert_eq!(median(&sorted), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = Summary::from_samples(&[2.0, 1.0, 4.0, 8.0, 16.0]).unwrap();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: Summary = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

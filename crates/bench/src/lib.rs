@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod scale;
 pub mod table;
 
 pub use experiments::{chemical_experiment, sparse_experiment, ExperimentResult};
+pub use harness::{BenchRecord, ExperimentSpec, Fidelity};
 pub use scale::ExperimentScale;
 pub use table::{render_listing, render_table, TableRow};

@@ -1,0 +1,189 @@
+//! End-to-end tests of the committed baseline and the `bench_gate` /
+//! `bench_all` command-line contracts: the committed `BENCH_baseline.json`
+//! must stay schema-valid and cover the whole suite, an identical candidate
+//! must pass the gate binary (exit 0), a synthetic 2x slowdown must fail it
+//! (exit 1), and usage errors must exit 2 uniformly across the bench
+//! binaries.
+
+use aiac_bench::harness::BenchRecord;
+use aiac_envs::profile::EnvProfile;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json")
+}
+
+fn load_baseline() -> BenchRecord {
+    let text = std::fs::read_to_string(baseline_path())
+        .expect("BENCH_baseline.json is committed at the repo root");
+    BenchRecord::from_json(&text).expect("the committed baseline is schema-valid")
+}
+
+/// A scratch file that cleans up after itself.
+struct TempJson(PathBuf);
+
+impl TempJson {
+    fn write(name: &str, contents: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("aiac-gate-{}-{name}.json", std::process::id()));
+        std::fs::write(&path, contents).expect("temp JSON writes");
+        TempJson(path)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("temp paths are UTF-8")
+    }
+}
+
+impl Drop for TempJson {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn committed_baseline_covers_all_experiments_and_profiles() {
+    let baseline = load_baseline();
+    assert_eq!(baseline.suite, "smoke");
+    assert!(baseline.all_checks_passed(), "the baseline must be healthy");
+
+    let names: Vec<&str> = baseline
+        .experiments
+        .iter()
+        .map(|e| e.experiment.as_str())
+        .collect();
+    assert_eq!(
+        names,
+        ["table1", "table2", "scale_pool", "oversub"],
+        "the four ported experiments must all be present"
+    );
+
+    let envs: Vec<String> = baseline
+        .experiments
+        .iter()
+        .flat_map(|e| e.cells.iter().map(|c| c.env.clone()))
+        .collect();
+    for profile in EnvProfile::ALL {
+        assert!(
+            envs.iter().any(|e| e == profile.slug()),
+            "baseline must cover the {} profile",
+            profile.slug()
+        );
+    }
+
+    assert!(
+        baseline.gateable_metrics().len() >= 50,
+        "the gate needs a substantial deterministic surface, found {}",
+        baseline.gateable_metrics().len()
+    );
+}
+
+#[test]
+fn gate_binary_passes_identical_candidate_and_fails_a_2x_slowdown() {
+    let gate = env!("CARGO_BIN_EXE_bench_gate");
+    let baseline_text = std::fs::read_to_string(baseline_path()).expect("baseline is committed");
+    let baseline = TempJson::write("baseline", &baseline_text);
+
+    // Identical candidate: within tolerance by definition.
+    let status = Command::new(gate)
+        .args([baseline.path(), baseline.path()])
+        .output()
+        .expect("bench_gate runs");
+    assert!(
+        status.status.success(),
+        "identical records must pass: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+
+    // Synthetic regression: double every simulated time.
+    let mut slow = load_baseline();
+    for exp in slow.experiments.iter_mut() {
+        for cell in exp.cells.iter_mut() {
+            for metric in cell.metrics.iter_mut() {
+                if metric.name == "sim_time_secs" {
+                    metric.value *= 2.0;
+                }
+            }
+        }
+    }
+    let candidate = TempJson::write("slowdown", &slow.to_json_pretty());
+    let output = Command::new(gate)
+        .args([baseline.path(), candidate.path()])
+        .output()
+        .expect("bench_gate runs");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "a 2x slowdown must exit 1: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // A regression smaller than the tolerance passes when the tolerance
+    // is widened accordingly.
+    let status = Command::new(gate)
+        .args([baseline.path(), candidate.path(), "--rel-tolerance", "1.5"])
+        .output()
+        .expect("bench_gate runs");
+    assert!(
+        status.status.success(),
+        "a 100% regression is within a 150% tolerance"
+    );
+}
+
+#[test]
+fn gate_binary_exits_2_on_usage_and_io_errors() {
+    let gate = env!("CARGO_BIN_EXE_bench_gate");
+    for args in [
+        vec![],
+        vec!["/nonexistent/baseline.json".to_string()],
+        vec!["--bogus-flag".to_string()],
+    ] {
+        let output = Command::new(gate)
+            .args(&args)
+            .output()
+            .expect("bench_gate runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+}
+
+#[test]
+fn bench_binaries_exit_2_uniformly_on_malformed_arguments() {
+    for (bin, args) in [
+        (env!("CARGO_BIN_EXE_bench_all"), vec!["--bogus"]),
+        (env!("CARGO_BIN_EXE_bench_all"), vec!["--json"]),
+        (env!("CARGO_BIN_EXE_scale_pool"), vec!["not-a-number"]),
+        (env!("CARGO_BIN_EXE_scale_pool"), vec!["0"]),
+        (env!("CARGO_BIN_EXE_scale_pool"), vec!["1024", "0"]),
+        (env!("CARGO_BIN_EXE_scale_pool"), vec!["8", "2", "extra"]),
+        (env!("CARGO_BIN_EXE_oversub"), vec!["not-a-number"]),
+        (env!("CARGO_BIN_EXE_oversub"), vec!["0"]),
+    ] {
+        let output = Command::new(bin).args(&args).output().expect("binary runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{bin} {args:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+}
+
+#[test]
+fn oversub_help_prints_usage_and_exits_0() {
+    let output = Command::new(env!("CARGO_BIN_EXE_oversub"))
+        .arg("--help")
+        .output()
+        .expect("oversub runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("usage: oversub"), "{stdout}");
+    assert!(stdout.contains("placement"), "{stdout}");
+}

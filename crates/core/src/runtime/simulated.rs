@@ -49,9 +49,50 @@ use aiac_netsim::sim::Simulator;
 use aiac_netsim::time::SimTime;
 use aiac_netsim::topology::GridTopology;
 use aiac_netsim::trace::{Activity, ExecutionTrace};
+use serde::{Deserialize, Serialize};
 
 /// Size in bytes of a convergence-state or stop control message on the wire.
 const CONTROL_BYTES: u64 = 16;
+
+/// The deterministic, serialisable metrics of a simulated run.
+///
+/// Everything here is a pure function of the kernel, the configuration, the
+/// topology and the environment model — the simulation involves no
+/// wall-clock time and no OS scheduling, so two runs of the same experiment
+/// produce bit-identical values on any machine. That is what makes these
+/// metrics *gateable*: the benchmark harness records them in
+/// `BENCH_baseline.json` and CI fails when a PR moves one beyond tolerance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Final virtual time of the run, in seconds.
+    pub sim_time_secs: f64,
+    /// Total virtual seconds jobs waited for a free CPU core or dedicated
+    /// receiving thread (see [`RunReport::cpu_queue_secs`]).
+    pub cpu_queue_secs: f64,
+    /// Total virtual core-busy seconds across every host.
+    pub cpu_busy_secs: f64,
+    /// Total virtual seconds messages queued behind other transfers.
+    pub net_queue_secs: f64,
+    /// Number of data messages sent.
+    pub data_messages: u64,
+    /// Number of control (state / stop) messages sent.
+    pub control_messages: u64,
+    /// Total application payload bytes carried by data messages.
+    pub data_bytes: u64,
+    /// Sum of the local iteration counts of every block.
+    pub total_iterations: u64,
+    /// Largest local iteration count of any block.
+    pub max_iterations: u64,
+    /// Mean per-host CPU utilization over the run (0–1).
+    pub mean_utilization: f64,
+    /// Largest number of blocks co-located on one host.
+    pub max_colocation: usize,
+    /// Whether the run converged (see [`RunReport::converged`]).
+    pub converged: bool,
+    /// Whether the stop decision was premature (see
+    /// [`RunReport::premature_stop`]).
+    pub premature_stop: bool,
+}
 
 /// Result of a simulated run: the usual report plus simulation-only
 /// information (virtual time, execution trace, network statistics, per-host
@@ -71,6 +112,34 @@ pub struct SimulationOutcome {
     pub host_loads: Vec<HostLoad>,
     /// The block → host assignment the run executed under.
     pub placement: Placement,
+}
+
+impl SimulationOutcome {
+    /// Collapses the outcome into its deterministic, serialisable metrics
+    /// (see [`SimMetrics`]).
+    pub fn metrics(&self) -> SimMetrics {
+        let mean_utilization = if self.host_loads.is_empty() {
+            0.0
+        } else {
+            self.host_loads.iter().map(|l| l.utilization).sum::<f64>()
+                / self.host_loads.len() as f64
+        };
+        SimMetrics {
+            sim_time_secs: self.sim_time.as_secs(),
+            cpu_queue_secs: self.report.cpu_queue_secs,
+            cpu_busy_secs: self.host_loads.iter().map(|l| l.busy_secs).sum(),
+            net_queue_secs: self.network.queueing_secs,
+            data_messages: self.report.data_messages,
+            control_messages: self.report.control_messages,
+            data_bytes: self.report.data_bytes,
+            total_iterations: self.report.iterations.iter().sum(),
+            max_iterations: self.report.max_iterations(),
+            mean_utilization,
+            max_colocation: self.placement.max_colocation(),
+            converged: self.report.converged,
+            premature_stop: self.report.premature_stop,
+        }
+    }
 }
 
 /// Virtual-time executor over a simulated grid.
@@ -992,6 +1061,27 @@ mod tests {
         assert!(over.report.cpu_queue_secs > 0.0);
         assert_eq!(spread.report.cpu_queue_secs, 0.0);
         assert_eq!(over.placement.max_colocation(), 2);
+    }
+
+    #[test]
+    fn metrics_are_deterministic_and_round_trip_through_json() {
+        let kernel = RingContraction::new(6);
+        let config = RunConfig::asynchronous(1e-9).with_streak(3);
+        let run = || {
+            SimulatedRuntime::new(grid(6), EnvKind::Pm2, ProblemKind::SparseLinear)
+                .run(&kernel, &config)
+                .metrics()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "simulated metrics must be reproducible");
+        assert!(a.sim_time_secs > 0.0);
+        assert!(a.cpu_busy_secs > 0.0);
+        assert!(a.total_iterations >= a.max_iterations);
+        assert!(a.converged);
+        let text = serde_json::to_string(&a).expect("metrics serialise");
+        let back: SimMetrics = serde_json::from_str(&text).expect("metrics parse back");
+        assert_eq!(back, a);
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub enum ConnectionGraph {
 }
 
 /// Deployment profile of an environment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `notes` field borrows static text, so this type is
+/// reported in JSON output but never decoded back.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DeploymentProfile {
     /// Connection-graph requirement.
     pub connection_graph: ConnectionGraph,

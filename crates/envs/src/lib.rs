@@ -20,7 +20,11 @@
 //!   deployment time;
 //! * [`threads`] — the per-problem thread configurations of Table 4;
 //! * [`deploy`] — connection-graph / portability constraints discussed in the
-//!   "ease of deployment" comparison (Section 5.3).
+//!   "ease of deployment" comparison (Section 5.3);
+//! * [`profile`] — the five named environment profiles
+//!   ([`profile::EnvProfile`]) the benchmark harness sweeps: the synchronous
+//!   MPI baseline, the three asynchronous grid environments and the
+//!   shared-memory threads execution.
 //!
 //! The models are intentionally simple — per-message CPU costs, per-message
 //! protocol bytes, and a threading discipline — because those are exactly the
@@ -36,6 +40,7 @@ pub mod mpi_mad;
 pub mod mpi_sync;
 pub mod omniorb;
 pub mod pm2;
+pub mod profile;
 pub mod threads;
 
 pub use deploy::{ConnectionGraph, DeploymentProfile};
@@ -44,4 +49,5 @@ pub use mpi_mad::MpiMadeleine;
 pub use mpi_sync::MpiSync;
 pub use omniorb::OmniOrb;
 pub use pm2::Pm2;
+pub use profile::EnvProfile;
 pub use threads::{ReceiveDiscipline, ThreadConfig};

@@ -20,10 +20,14 @@
 use crate::host::HostId;
 use crate::time::SimTime;
 use crate::topology::GridTopology;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Statistics accumulated by a [`Network`].
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// All three counters are deterministic functions of the simulated run, so
+/// the benchmark harness serialises them into its gateable records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetworkStats {
     /// Number of messages transferred.
     pub messages: u64,

@@ -195,6 +195,13 @@ impl HostScheduler {
         self.hosts.iter().map(|h| h.queue_secs()).sum()
     }
 
+    /// Total core-busy time accumulated across every host — with
+    /// [`HostScheduler::total_queue_secs`], the deterministic virtual-clock
+    /// totals the benchmark harness gates on.
+    pub fn total_busy_secs(&self) -> f64 {
+        self.hosts.iter().map(|h| h.busy_secs()).sum()
+    }
+
     /// Snapshot of every host's load over a run of length `span`.
     pub fn loads(&self, span: SimTime) -> Vec<HostLoad> {
         self.hosts

@@ -3,13 +3,17 @@
 //! The workspace is built without network access, so this crate stands in
 //! for the real `serde`. It keeps the two names the sources import —
 //! [`Serialize`] and [`Deserialize`], each usable both as a trait and as a
-//! derive macro — but the serialization model is deliberately tiny: a
-//! [`Serialize`] impl lowers the value to a [`Value`] tree, which the
-//! vendored `serde_json` renders as JSON text.
+//! derive macro — but the data model is deliberately tiny: a [`Serialize`]
+//! impl lowers the value to a [`Value`] tree, which the vendored
+//! `serde_json` renders as JSON text, and a [`Deserialize`] impl rebuilds
+//! the value from such a tree (parsed back by `serde_json::from_str`).
 //!
-//! [`Deserialize`] is a marker trait only: nothing in the workspace parses
-//! JSON back into Rust values yet. When that need appears, extend this
-//! facade rather than reaching for the real serde (no network in CI).
+//! The decoding half exists for the benchmark harness, which round-trips
+//! its `BenchRecord` schema through committed JSON baselines. It mirrors
+//! the encoding conventions exactly: structs are maps in field order,
+//! newtypes are transparent, unit enum variants are strings and data
+//! variants are single-entry maps. Extend this facade rather than reaching
+//! for the real serde (no network in CI).
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -30,13 +34,138 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// A short name for the value's kind, used in decode errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "a sequence",
+            Value::Map(_) => "a map",
+        }
+    }
+
+    /// The numeric value as an `f64`, if this is any number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            Value::F64(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            Value::F64(x) if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 => {
+                Some(*x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up in a slice of map pairs (first match wins, mirroring
+    /// the encoder, which writes each field exactly once).
+    pub fn lookup<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
 /// Types that can lower themselves to a [`Value`] tree.
 pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait emitted by `#[derive(Deserialize)]`. See the module docs.
-pub trait Deserialize: Sized {}
+/// Why a [`Value`] tree could not be decoded into a Rust type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A free-form decode error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X, found Y" with the found value's kind filled in.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Wraps the error with the struct field (or variant field) it occurred
+    /// in, so nested failures name their path.
+    pub fn in_field(self, ty: &str, field: &str) -> Self {
+        DeError(format!("{ty}.{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Decodes the value, mirroring what [`Serialize::to_value`] produced.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent from the map. `Option<T>`
+    /// decodes to `None`; everything else reports the missing field.
+    fn from_missing() -> Result<Self, DeError> {
+        Err(DeError::new("missing field"))
+    }
+}
 
 macro_rules! ser_signed {
     ($($t:ty)*) => {$(
@@ -203,5 +332,199 @@ where
         let mut entries: Vec<(&K, &V)> = self.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
         map_to_value(entries.into_iter())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls, mirroring the Serialize impls above one for one.
+// ---------------------------------------------------------------------
+
+macro_rules! de_signed {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("a signed integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "{n} is out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_signed!(i8 i16 i32 i64 isize);
+
+macro_rules! de_unsigned {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("an unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "{n} is out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_unsigned!(u8 u16 u32 u64 usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // The JSON encoder writes non-finite floats as null; decoding
+            // null back to NaN is the lossy inverse of that convention.
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| DeError::expected("a number", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("a bool", v))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("a string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!(
+                "expected a one-character string, found {s:?}"
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("a string", v))
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            _ => T::from_value(v).map(Some),
+        }
+    }
+
+    fn from_missing() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_seq()
+            .ok_or_else(|| DeError::expected("a sequence", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("a sequence", v))?;
+                if items.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected a {}-element sequence, found {} elements",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1, 0 A)
+    (2, 0 A, 1 B)
+    (3, 0 A, 1 B, 2 C)
+    (4, 0 A, 1 B, 2 C, 3 D)
+}
+
+/// Decodes map entries from either encoding `map_to_value` produces: a JSON
+/// object (string keys) or a sequence of `[key, value]` pairs.
+fn map_entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    match v {
+        Value::Map(pairs) => pairs
+            .iter()
+            .map(|(k, val)| {
+                let key = K::from_value(&Value::Str(k.clone()))?;
+                Ok((key, V::from_value(val)?))
+            })
+            .collect(),
+        Value::Seq(items) => items.iter().map(<(K, V)>::from_value).collect(),
+        _ => Err(DeError::expected("a map or a sequence of pairs", v)),
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_entries::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_entries::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
     }
 }

@@ -11,10 +11,14 @@
 //! * enums with unit, tuple and struct variants,
 //! * no generic parameters and no `#[serde(...)]` attributes.
 //!
-//! The generated code targets the vendored `serde` facade crate, whose
-//! `Serialize` trait produces a `serde::Value` tree (rendered to JSON by the
-//! vendored `serde_json`). `Deserialize` is a marker trait in the facade, so
-//! its derive emits an empty impl.
+//! The generated code targets the vendored `serde` facade crate: the
+//! `Serialize` derive produces a `serde::Value` tree (rendered to JSON by
+//! the vendored `serde_json`), and the `Deserialize` derive emits the exact
+//! mirror decoder — structs from maps in field order (absent fields go
+//! through `Deserialize::from_missing`, so `Option` fields tolerate
+//! omission), newtypes transparently, tuple structs from sequences, unit
+//! enum variants from their name string and data variants from the
+//! single-entry map the serializer writes.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -55,10 +59,177 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let (name, _shape) = parse(input);
-    format!("impl ::serde::Deserialize for {name} {{}}\n")
-        .parse()
+    let (name, shape) = parse(input);
+    let body = deserialize_body(&name, &shape);
+    let imp = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\t}}\n}}\n"
+    );
+    imp.parse()
         .expect("serde_derive shim generated invalid Rust")
+}
+
+/// Generates the `field: ...` decoding expression for one named field of
+/// `__map`, routing absent keys through `from_missing` (Option support).
+fn named_field_expr(ty: &str, field: &str) -> String {
+    format!(
+        "{field}: match ::serde::Value::lookup(__map, \"{field}\") {{\n\
+         \t\t\t\t::std::option::Option::Some(__f) => \
+         ::serde::Deserialize::from_value(__f)\
+         .map_err(|e| e.in_field(\"{ty}\", \"{field}\"))?,\n\
+         \t\t\t\t::std::option::Option::None => \
+         ::serde::Deserialize::from_missing()\
+         .map_err(|e| e.in_field(\"{ty}\", \"{field}\"))?,\n\
+         \t\t\t}},\n"
+    )
+}
+
+fn deserialize_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::UnitStruct => format!(
+            "\t\tmatch __v {{\n\
+             \t\t\t::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             \t\t\t_ => ::std::result::Result::Err(\
+             ::serde::DeError::expected(\"null for unit struct `{name}`\", __v)),\n\
+             \t\t}}\n"
+        ),
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "\t\tlet __map = __v.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"a map for struct `{name}`\", __v))?;\n\
+                 \t\t::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str("\t\t\t");
+                s.push_str(&named_field_expr(name, f));
+            }
+            s.push_str("\t\t})\n");
+            s
+        }
+        Shape::TupleStruct(1) => format!(
+            "\t\t::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)\
+             .map_err(|e| e.in_field(\"{name}\", \"0\"))?))\n"
+        ),
+        Shape::TupleStruct(n) => {
+            let mut s = format!(
+                "\t\tlet __seq = __v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"a sequence for struct `{name}`\", __v))?;\n\
+                 \t\tif __seq.len() != {n} {{\n\
+                 \t\t\treturn ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"struct `{name}` needs {n} elements, found {{}}\", \
+                 __seq.len())));\n\
+                 \t\t}}\n\
+                 \t\t::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "\t\t\t::serde::Deserialize::from_value(&__seq[{i}])\
+                     .map_err(|e| e.in_field(\"{name}\", \"{i}\"))?,\n"
+                ));
+            }
+            s.push_str("\t\t))\n");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::new();
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            if !unit.is_empty() {
+                s.push_str("\t\tif let ::serde::Value::Str(__s) = __v {\n");
+                s.push_str("\t\t\treturn match __s.as_str() {\n");
+                for v in &unit {
+                    let vn = &v.name;
+                    s.push_str(&format!(
+                        "\t\t\t\t\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+                s.push_str(&format!(
+                    "\t\t\t\t__other => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"unknown variant `{{__other}}` of enum `{name}`\"))),\n\
+                     \t\t\t}};\n\t\t}}\n"
+                ));
+            }
+            if data.is_empty() {
+                s.push_str(&format!(
+                    "\t\t::std::result::Result::Err(::serde::DeError::expected(\
+                     \"a variant name of enum `{name}`\", __v))\n"
+                ));
+                return s;
+            }
+            s.push_str(&format!(
+                "\t\tlet __pairs = __v.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"a variant of enum `{name}`\", __v))?;\n\
+                 \t\tif __pairs.len() != 1 {{\n\
+                 \t\t\treturn ::std::result::Result::Err(::serde::DeError::new(\
+                 \"expected a single-entry variant map for enum `{name}`\"));\n\
+                 \t\t}}\n\
+                 \t\tlet (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1);\n\
+                 \t\tmatch __tag.as_str() {{\n"
+            ));
+            for v in &data {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unreachable!("unit variants handled above"),
+                    VariantKind::Tuple(1) => s.push_str(&format!(
+                        "\t\t\t\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__inner)\
+                         .map_err(|e| e.in_field(\"{name}::{vn}\", \"0\"))?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let mut arm = format!(
+                            "\t\t\t\"{vn}\" => {{\n\
+                             \t\t\t\tlet __seq = __inner.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\
+                             \"a sequence for variant `{name}::{vn}`\", __inner))?;\n\
+                             \t\t\t\tif __seq.len() != {n} {{\n\
+                             \t\t\t\t\treturn ::std::result::Result::Err(\
+                             ::serde::DeError::new(::std::format!(\
+                             \"variant `{name}::{vn}` needs {n} elements, found {{}}\", \
+                             __seq.len())));\n\
+                             \t\t\t\t}}\n\
+                             \t\t\t\t::std::result::Result::Ok({name}::{vn}(\n"
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "\t\t\t\t\t::serde::Deserialize::from_value(&__seq[{i}])\
+                                 .map_err(|e| e.in_field(\"{name}::{vn}\", \"{i}\"))?,\n"
+                            ));
+                        }
+                        arm.push_str("\t\t\t\t))\n\t\t\t},\n");
+                        s.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "\t\t\t\"{vn}\" => {{\n\
+                             \t\t\t\tlet __map = __inner.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\
+                             \"a map for variant `{name}::{vn}`\", __inner))?;\n\
+                             \t\t\t\t::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str("\t\t\t\t\t");
+                            arm.push_str(&named_field_expr(&format!("{name}::{vn}"), f));
+                        }
+                        arm.push_str("\t\t\t\t})\n\t\t\t},\n");
+                        s.push_str(&arm);
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "\t\t\t__other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{__other}}` of enum `{name}`\"))),\n\
+                 \t\t}}\n"
+            ));
+            s
+        }
+    }
 }
 
 fn serialize_body(name: &str, shape: &Shape) -> String {

@@ -1,14 +1,16 @@
 //! Offline shim for `serde_json`.
 //!
-//! Renders the vendored `serde::Value` tree as JSON text. Only the encoding
-//! half is implemented (`to_string` / `to_string_pretty`) because nothing in
-//! the workspace parses JSON back in; extend here if that changes.
+//! Renders the vendored `serde::Value` tree as JSON text (`to_string` /
+//! `to_string_pretty`) and parses JSON text back into a `Value` tree
+//! (`from_str`), from which any `serde::Deserialize` type rebuilds itself.
+//! The parser exists for the benchmark harness's committed baselines; it
+//! accepts standard JSON (objects, arrays, strings with escapes, numbers,
+//! `true`/`false`/`null`) and nothing more exotic.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
-/// Serialization error (the shim encoder is infallible in practice, but the
-/// signature mirrors the real crate so call sites stay source-compatible).
+/// Serialization / parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -27,6 +29,240 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), None, 0);
     Ok(out)
+}
+
+/// Parses JSON text and decodes it into `T` (any [`Deserialize`] type;
+/// use `serde::Value` as `T` to get the raw tree).
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
+    }
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn consume_keyword(&mut self, word: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.consume_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.consume_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.consume_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error(format!(
+                "unexpected character {:?} at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".to_string())),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(pairs));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".to_string())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                self.consume_keyword("\\u")
+                                    .map_err(|_| Error("lone high surrogate".to_string()))?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error(format!(
+                                        "high surrogate followed by \\u{lo:04x}, \
+                                         not a low surrogate"
+                                    )));
+                                }
+                                let combined = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error("invalid surrogate pair".to_string()))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error("invalid \\u escape".to_string()))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(Error("invalid escape".to_string())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // the bytes are valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8".to_string()))?;
+                    let c = s.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses exactly four hex digits (the payload of a `\u` escape).
+    /// Called with `pos` on the first digit; leaves `pos` past the last.
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated \\u escape".to_string()));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error("invalid \\u escape".to_string()))?;
+        let n =
+            u32::from_str_radix(digits, 16).map_err(|_| Error("invalid \\u escape".to_string()))?;
+        self.pos = end;
+        Ok(n)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".to_string()))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            // Integers beyond 64 bits fall through to the f64 path below.
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number {text:?} at byte {start}")))
+    }
 }
 
 /// Encodes `value` as human-readable JSON with two-space indentation.
@@ -163,5 +399,81 @@ mod tests {
     fn non_finite_floats_render_as_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("1.5e3").unwrap(), 1500.0);
+        assert_eq!(
+            from_str::<String>("\"a\\n\\\"b\\u00e9\"").unwrap(),
+            "a\n\"bé"
+        );
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn parses_containers() {
+        assert_eq!(from_str::<Vec<u64>>("[1, 2, 3]").unwrap(), vec![1, 2, 3]);
+        assert_eq!(from_str::<Vec<u64>>("[]").unwrap(), Vec::<u64>::new());
+        let v: Value = from_str("{\"a\": [1, {\"b\": null}]}").unwrap();
+        assert_eq!(
+            v,
+            Value::Map(vec![(
+                "a".to_string(),
+                Value::Seq(vec![
+                    Value::U64(1),
+                    Value::Map(vec![("b".to_string(), Value::Null)]),
+                ])
+            )])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn encoded_values_parse_back_identically() {
+        let original = Value::Map(vec![
+            ("s".to_string(), Value::Str("x\ty".to_string())),
+            ("n".to_string(), Value::F64(2.5)),
+            ("u".to_string(), Value::U64(9)),
+            ("i".to_string(), Value::I64(-9)),
+            (
+                "seq".to_string(),
+                Value::Seq(vec![Value::Bool(false), Value::Null]),
+            ),
+        ]);
+        for text in [
+            to_string(&original).unwrap(),
+            to_string_pretty(&original).unwrap(),
+        ] {
+            let reparsed: Value = from_str(&text).unwrap();
+            assert_eq!(reparsed, original);
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_characters() {
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+
+    #[test]
+    fn malformed_surrogates_are_rejected() {
+        // High surrogate followed by a non-surrogate escape.
+        assert!(from_str::<String>("\"\\ud800\\u0041\"").is_err());
+        // High surrogate followed by another high surrogate.
+        assert!(from_str::<String>("\"\\ud800\\ud800\"").is_err());
+        // Lone surrogates in either half.
+        assert!(from_str::<String>("\"\\ud800\"").is_err());
+        assert!(from_str::<String>("\"\\udc00\"").is_err());
     }
 }
