@@ -239,6 +239,18 @@ fn run_threaded_cell(
                 direction: crate::harness::record::MetricDirection::Informational,
             });
         }
+        // Payload copies are structural — a kernel either overrides
+        // `update_block_into` or it does not — so unlike the traffic
+        // counters above they are machine-invariant and gateable even on
+        // the wall-clock executor.
+        metrics.push(MetricSample::gauge(
+            "payload_clones",
+            report.payload_clones as f64,
+        ));
+        metrics.push(MetricSample::gauge(
+            "bytes_copied",
+            report.bytes_copied as f64,
+        ));
     }
     let mut outcome = CellOutcome {
         record: CellRecord {
@@ -258,8 +270,8 @@ fn run_threaded_cell(
 }
 
 /// Evaluates the per-cell checks (convergence, fixed point, solution error,
-/// mailbox bound). Cross-cell checks are handled by the kind-specific
-/// drivers below.
+/// mailbox bound, zero-copy). Cross-cell checks are handled by the
+/// kind-specific drivers below.
 fn apply_cell_checks(outcome: &mut CellOutcome, kernel: &Kernel, spec: &ExperimentSpec) {
     let Some(report) = outcome.report.as_ref() else {
         return;
@@ -310,6 +322,14 @@ fn apply_cell_checks(outcome: &mut CellOutcome, kernel: &Kernel, spec: &Experime
                     failures.push(format!(
                         "exceeded the O(edges) bound: {} slots > {edges} edges",
                         report.peak_mailbox_occupancy
+                    ));
+                }
+            }
+            Check::ZeroCopy => {
+                if report.payload_clones > 0 {
+                    failures.push(format!(
+                        "data plane copied payloads: {} clones ({} bytes)",
+                        report.payload_clones, report.bytes_copied
                     ));
                 }
             }

@@ -166,6 +166,11 @@ pub enum Check {
     /// Peak mailbox occupancy must not exceed the dependency-edge count
     /// (threaded runs only).
     MailboxBound,
+    /// The run must not copy a single payload: every block update must go
+    /// through the kernel's native `update_block_into` straight into the
+    /// double-buffered block state (`payload_clones == 0`). Structural, so
+    /// it holds deterministically even on the wall-clock executor.
+    ZeroCopy,
     /// Every asynchronous profile must beat the synchronous baseline's
     /// virtual time (the paper's headline result).
     AsyncBeatsSync,
@@ -343,6 +348,7 @@ pub fn scale_pool_spec(blocks: usize, workers: Option<usize>) -> ExperimentSpec 
             Check::Converged,
             Check::FixedPoint { tolerance: 1e-5 },
             Check::MailboxBound,
+            Check::ZeroCopy,
         ],
     }
 }

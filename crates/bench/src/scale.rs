@@ -8,7 +8,7 @@
 //! binary so they stay consistent, and switches to the paper's original
 //! values when the environment variable `AIAC_FULL` is set to `1`.
 
-use aiac_core::kernel::{BlockUpdate, DependencyView, IterativeKernel};
+use aiac_core::kernel::{BlockUpdate, DependencyView, InPlaceUpdate, IterativeKernel};
 use serde::{Deserialize, Serialize};
 
 /// The problem sizes used by the experiment binaries.
@@ -178,14 +178,30 @@ impl IterativeKernel for ScaleRing {
     }
 
     fn update_block(&self, block: usize, local: &[f64], others: &DependencyView) -> BlockUpdate {
+        let mut values = vec![0.0];
+        let update = self.update_block_into(block, local, others, &mut values);
+        BlockUpdate {
+            values,
+            residual: update.residual,
+        }
+    }
+
+    fn update_block_into(
+        &self,
+        block: usize,
+        local: &[f64],
+        others: &DependencyView,
+        out: &mut [f64],
+    ) -> InPlaceUpdate {
         let left = (block + self.blocks - 1) % self.blocks;
         let right = (block + 1) % self.blocks;
         let xl = others.get(left).map_or(0.0, |v| v[0]);
         let xr = others.get(right).map_or(0.0, |v| v[0]);
         let new = Self::A * xl + Self::B * local[0] + Self::C * xr + Self::D;
-        BlockUpdate {
+        out[0] = new;
+        InPlaceUpdate {
             residual: (new - local[0]).abs(),
-            values: vec![new],
+            copied: false,
         }
     }
 

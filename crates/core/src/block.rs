@@ -6,17 +6,27 @@
 //! `s_j^i(t)` of the asynchronous model in Section 1.2), its iteration
 //! counter and its last residual. Both runtimes use it, which keeps their
 //! iteration logic symmetrical.
+//!
+//! Since the zero-copy data plane, the current values are a shared
+//! [`Payload`] (`Arc<[f64]>`) and the state is *double-buffered*: the kernel
+//! writes the next iterate into a private back buffer while the front buffer
+//! stays readable by anyone still holding a reference (the mailbox, a
+//! neighbour's dependency view). When the back buffer is uniquely owned it is
+//! reused in place; otherwise a fresh allocation replaces it — either way no
+//! payload bytes are copied on the native in-place path.
 
-use crate::kernel::{DependencyView, IterativeKernel};
+use crate::kernel::{DependencyView, IterativeKernel, Payload};
 use aiac_linalg::norms::max_norm_diff;
+use std::sync::Arc;
 
 /// The mutable state of one block (one simulated or real processor).
 #[derive(Debug, Clone)]
 pub struct BlockState {
     /// Block index.
     pub id: usize,
-    /// Current local values `X_i^t`.
-    pub values: Vec<f64>,
+    /// Current local values `X_i^t` (the front buffer). Shared by reference:
+    /// publishing or snapshotting this payload bumps a refcount, never copies.
+    pub values: Payload,
     /// Latest received versions of the other blocks.
     pub view: DependencyView,
     /// Iteration tag of the latest received version of each block
@@ -28,6 +38,14 @@ pub struct BlockState {
     pub residual: f64,
     /// Number of data messages incorporated so far.
     pub messages_incorporated: u64,
+    /// Times a kernel fell back to the copying `update_block` path
+    /// (i.e. `update_block_into` reported `copied == true`).
+    pub payload_clones: u64,
+    /// Payload bytes copied by those fallbacks.
+    pub bytes_copied: u64,
+    /// Back buffer the next iterate is written into before the front/back
+    /// swap. Reused in place whenever it is uniquely owned.
+    back: Payload,
     /// Snapshot of the values at the start of the current local-convergence
     /// observation window (see [`BlockState::drift_from_anchor`]).
     anchor: Vec<f64>,
@@ -43,12 +61,15 @@ impl BlockState {
         Self {
             id,
             anchor: values.clone(),
-            values,
+            back: vec![0.0; values.len()].into(),
+            values: values.into(),
             view: DependencyView::from_initial(kernel),
             received_iteration: vec![None; kernel.num_blocks()],
             iteration: 0,
             residual: f64::INFINITY,
             messages_incorporated: 0,
+            payload_clones: 0,
+            bytes_copied: 0,
         }
     }
 
@@ -82,8 +103,9 @@ impl BlockState {
     ///
     /// Stale messages (older than what is already stored) are ignored, which
     /// mirrors the paper's implementations where the newest received values
-    /// overwrite previous ones.
-    pub fn incorporate(&mut self, from: usize, iteration: u64, values: Vec<f64>) -> bool {
+    /// overwrite previous ones. Accepts either an owned `Vec<f64>` or an
+    /// already-shared [`Payload`]; the latter is stored by reference.
+    pub fn incorporate(&mut self, from: usize, iteration: u64, values: impl Into<Payload>) -> bool {
         if let Some(prev) = self.received_iteration[from] {
             if iteration < prev {
                 return false;
@@ -97,12 +119,34 @@ impl BlockState {
 
     /// Runs one local iteration through the kernel and stores the result.
     /// Returns the residual of the update.
+    ///
+    /// The kernel writes into the back buffer, then front and back swap: the
+    /// old front buffer (possibly still referenced by the mailbox or a
+    /// neighbour's view) becomes the new back buffer and is only mutated once
+    /// every other reference to it has been dropped.
     pub fn iterate(&mut self, kernel: &dyn IterativeKernel) -> f64 {
-        let update = kernel.update_block(self.id, &self.values, &self.view);
-        self.values = update.values;
+        let mut back = std::mem::take(&mut self.back);
+        let len = self.values.len();
+        let out = match Arc::get_mut(&mut back) {
+            Some(slice) if slice.len() == len => slice,
+            _ => {
+                // Someone still reads the old back buffer (or the block size
+                // changed): retire it and start a fresh allocation. This is
+                // an allocation, not a payload copy.
+                back = vec![0.0; len].into();
+                Arc::get_mut(&mut back).expect("freshly allocated Arc is unique")
+            }
+        };
+        let update = kernel.update_block_into(self.id, &self.values, &self.view, out);
+        if update.copied {
+            self.payload_clones += 1;
+            self.bytes_copied += (len * std::mem::size_of::<f64>()) as u64;
+        }
         self.residual = update.residual;
         self.iteration += 1;
-        // A processor always has the freshest version of its own block.
+        self.back = std::mem::replace(&mut self.values, back);
+        // A processor always has the freshest version of its own block
+        // (a refcount bump, not a copy).
         self.view.set(self.id, self.values.clone());
         self.residual
     }
@@ -124,7 +168,7 @@ mod tests {
     fn new_block_starts_from_kernel_initial_values() {
         let kernel = RingContraction::new(3);
         let st = BlockState::new(&kernel, 1);
-        assert_eq!(st.values, vec![0.0]);
+        assert_eq!(&*st.values, &[0.0]);
         assert_eq!(st.iteration, 0);
         assert!(st.view.has(0) && st.view.has(2));
     }
@@ -135,7 +179,7 @@ mod tests {
         let mut st = BlockState::new(&kernel, 0);
         let r = st.iterate(&kernel);
         assert_eq!(st.iteration, 1);
-        assert_eq!(st.values, vec![1.0]); // 0.2*0 + 0.3*0 + 0.2*0 + 1.0
+        assert_eq!(&*st.values, &[1.0]); // 0.2*0 + 0.3*0 + 0.2*0 + 1.0
         assert_eq!(r, 1.0);
         assert_eq!(st.view.expect(0), &[1.0]);
     }
@@ -197,5 +241,22 @@ mod tests {
         let fp = kernel.fixed_point();
         assert!((a.values[0] - fp).abs() < 1e-9);
         assert!((b.values[0] - fp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn native_in_place_kernels_never_copy_payload_bytes() {
+        // RingContraction overrides update_block_into, so iterating through
+        // the double buffer must not count any payload clones — even while a
+        // neighbour's view still holds the previous front buffer.
+        let kernel = RingContraction::new(2);
+        let mut st = BlockState::new(&kernel, 0);
+        let mut leaked: Vec<Payload> = Vec::new();
+        for _ in 0..8 {
+            leaked.push(st.values.clone()); // keep every front buffer alive
+            st.iterate(&kernel);
+        }
+        assert_eq!(st.payload_clones, 0);
+        assert_eq!(st.bytes_copied, 0);
+        assert_eq!(st.iteration, 8);
     }
 }

@@ -17,15 +17,30 @@
 //! `aiac-solvers`, and the test-suite adds several synthetic kernels.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A block iterate as it travels through the data plane.
+///
+/// Payloads are immutable and reference-counted: publishing one on a
+/// dependency edge, storing it in a [`DependencyView`] or handing it to a
+/// consumer clones the `Arc` (a refcount bump), never the `f64` data. The
+/// only places a payload's numbers are ever copied are the one-time
+/// conversion of the final block values into the assembled solution and the
+/// compatibility fallback of [`IterativeKernel::update_block_into`] — both
+/// tracked by the `payload_clones` / `bytes_copied` counters of
+/// [`crate::report::RunReport`].
+pub type Payload = Arc<[f64]>;
 
 /// The most recent block values a processor has received from the blocks it
 /// depends on (plus, trivially, its own block).
 ///
 /// Entries for blocks the processor does not depend on may be absent; the
-/// initial values are used until a first message arrives.
+/// initial values are used until a first message arrives. The entries are
+/// shared [`Payload`]s: replacing one drops a reference, it does not copy or
+/// free the data other processors may still be reading.
 #[derive(Debug, Clone)]
 pub struct DependencyView {
-    blocks: Vec<Option<Vec<f64>>>,
+    blocks: Vec<Option<Payload>>,
 }
 
 impl DependencyView {
@@ -52,13 +67,15 @@ impl DependencyView {
         self.blocks.len()
     }
 
-    /// Stores the latest values of block `id`.
-    pub fn set(&mut self, id: usize, values: Vec<f64>) {
+    /// Stores the latest values of block `id`. Accepts an existing
+    /// [`Payload`] (stored by reference, zero copy) or a `Vec<f64>`
+    /// (converted into a fresh payload).
+    pub fn set(&mut self, id: usize, values: impl Into<Payload>) {
         assert!(
             id < self.blocks.len(),
             "DependencyView::set: block out of range"
         );
-        self.blocks[id] = Some(values);
+        self.blocks[id] = Some(values.into());
     }
 
     /// The latest values of block `id`, if any version has been stored.
@@ -93,6 +110,20 @@ pub struct BlockUpdate {
     pub residual: f64,
 }
 
+/// The result of one *in-place* local block update
+/// (see [`IterativeKernel::update_block_into`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InPlaceUpdate {
+    /// The local residual `||X_i^t − X_i^{t−1}||_∞`.
+    pub residual: f64,
+    /// True when the kernel fell back to the allocating
+    /// [`IterativeKernel::update_block`] path and the new values were deep
+    /// copied into the output buffer; false when the kernel wrote them
+    /// directly. The runtimes surface this through the `payload_clones`
+    /// counter so the zero-copy property is observable (and gateable).
+    pub copied: bool,
+}
+
 /// A block-decomposed fixed-point problem.
 pub trait IterativeKernel: Send + Sync {
     /// Number of block-components `m` (one per processor).
@@ -111,6 +142,40 @@ pub trait IterativeKernel: Send + Sync {
     /// Computes `G_i` for block `block`: one local iteration from the current
     /// local values and the latest available dependency data.
     fn update_block(&self, block: usize, local: &[f64], others: &DependencyView) -> BlockUpdate;
+
+    /// Computes `G_i` for block `block` directly into `out` (which the
+    /// runtimes hand over as the back buffer of the double-buffered block
+    /// state), returning the residual.
+    ///
+    /// The default implementation calls [`IterativeKernel::update_block`] and
+    /// copies the resulting vector — correct for every kernel, but it is a
+    /// deep copy on the hot path and is reported as such via
+    /// [`InPlaceUpdate::copied`]. Kernels on the benchmark path override this
+    /// to write `out` directly (and should keep `update_block` delegating to
+    /// it so both entry points stay bit-identical).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != block_len(block)` (the runtimes always size
+    /// the buffer correctly).
+    fn update_block_into(
+        &self,
+        block: usize,
+        local: &[f64],
+        others: &DependencyView,
+        out: &mut [f64],
+    ) -> InPlaceUpdate {
+        let update = self.update_block(block, local, others);
+        assert_eq!(
+            out.len(),
+            update.values.len(),
+            "update_block_into: output buffer length mismatch"
+        );
+        out.copy_from_slice(&update.values);
+        InPlaceUpdate {
+            residual: update.residual,
+            copied: true,
+        }
+    }
 
     /// Estimated cost of one local update of `block`, in seconds on the
     /// reference machine. Only the *relative* magnitudes matter; the simulated
@@ -259,6 +324,21 @@ pub(crate) mod test_kernels {
             local: &[f64],
             others: &DependencyView,
         ) -> BlockUpdate {
+            let mut values = vec![0.0; local.len()];
+            let update = self.update_block_into(block, local, others, &mut values);
+            BlockUpdate {
+                values,
+                residual: update.residual,
+            }
+        }
+
+        fn update_block_into(
+            &self,
+            block: usize,
+            local: &[f64],
+            others: &DependencyView,
+            out: &mut [f64],
+        ) -> InPlaceUpdate {
             let left = (block + self.blocks - 1) % self.blocks;
             let right = (block + 1) % self.blocks;
             let xl = others.get(left).map_or(0.0, |v| v[0]);
@@ -271,9 +351,10 @@ pub(crate) mod test_kernels {
                 noise += (k as f64 * 1e-3).sin();
             }
             let new = self.a * xl + self.b * local[0] + self.c * xr + self.d + noise * 0.0;
-            BlockUpdate {
+            out[0] = new;
+            InPlaceUpdate {
                 residual: (new - local[0]).abs(),
-                values: vec![new],
+                copied: false,
             }
         }
 

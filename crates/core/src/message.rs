@@ -8,10 +8,15 @@
 //! runtimes use this single message type so their behaviour can be compared
 //! directly.
 
+use crate::kernel::Payload;
 use serde::{Deserialize, Serialize};
 
 /// A message flowing between processors (or between a processor and the
 /// central convergence detector).
+///
+/// Data payloads are shared [`Payload`]s: cloning a message (as the simulated
+/// network does when fanning an update out to several receivers) bumps a
+/// refcount instead of copying the values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// New values of a block, sent to every processor that depends on it.
@@ -20,8 +25,9 @@ pub enum Message {
         from: usize,
         /// Local iteration number at which these values were produced.
         iteration: u64,
-        /// The block values.
-        values: Vec<f64>,
+        /// The block values (shared, not copied, between in-process senders
+        /// and receivers).
+        values: Payload,
     },
     /// Local convergence state report to the central detector; sent only when
     /// the state changes to limit network load.
@@ -92,12 +98,12 @@ mod tests {
         let small = Message::Data {
             from: 0,
             iteration: 1,
-            values: vec![0.0; 10],
+            values: vec![0.0; 10].into(),
         };
         let large = Message::Data {
             from: 0,
             iteration: 1,
-            values: vec![0.0; 1000],
+            values: vec![0.0; 1000].into(),
         };
         // header (8) + from (8) + iteration (8) + 10 × 8 payload bytes
         assert_eq!(small.payload_bytes(), 104);
@@ -109,7 +115,7 @@ mod tests {
         let empty = Message::Data {
             from: 0,
             iteration: 0,
-            values: vec![],
+            values: vec![].into(),
         };
         assert_eq!(empty.payload_bytes(), Message::HEADER_BYTES + 16);
         assert_eq!(empty.payload_bytes(), Message::data_payload_bytes(0));
@@ -138,7 +144,7 @@ mod tests {
         let data = Message::Data {
             from: 2,
             iteration: 0,
-            values: vec![],
+            values: vec![].into(),
         };
         assert_eq!(data.sender(), Some(2));
         assert!(data.is_data());

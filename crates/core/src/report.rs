@@ -80,6 +80,14 @@ pub struct RunReport {
     /// executor this is the mailbox high-water mark, bounded by the
     /// dependency-edge count; back-ends without mailboxes report 0.
     pub peak_mailbox_occupancy: u64,
+    /// Times an iteration fell back to the copying `update_block` path
+    /// instead of the in-place `update_block_into`. A kernel with a native
+    /// in-place update runs the whole data plane zero-copy, so this is
+    /// structurally 0 regardless of scheduling — which makes it a
+    /// *deterministic* gateable metric even on the threaded back-end.
+    pub payload_clones: u64,
+    /// Payload bytes copied by those fallback iterations (8 bytes per `f64`).
+    pub bytes_copied: u64,
     /// Total virtual seconds that compute phases and message receptions
     /// spent waiting for a free CPU core on their host. Non-zero only for
     /// the simulated back-end when blocks outnumber cores (oversubscribed
@@ -159,6 +167,8 @@ mod tests {
             data_bytes: 1_000,
             coalesced_messages: 0,
             peak_mailbox_occupancy: 0,
+            payload_clones: 0,
+            bytes_copied: 0,
             cpu_queue_secs: 0.0,
             converged: true,
             premature_stop: false,

@@ -9,7 +9,7 @@
 
 use crate::block::BlockState;
 use crate::config::{ExecutionMode, RunConfig};
-use crate::kernel::IterativeKernel;
+use crate::kernel::{IterativeKernel, Payload};
 use crate::report::RunReport;
 use std::time::Instant;
 
@@ -42,8 +42,9 @@ impl SequentialRuntime {
 
         while iterations < config.max_iterations as u64 {
             // Jacobi sweep: every block reads the previous iteration's values,
-            // so updates within one sweep do not see each other.
-            let snapshot: Vec<Vec<f64>> = blocks.iter().map(|b| b.values.clone()).collect();
+            // so updates within one sweep do not see each other. The snapshot
+            // is a refcount bump per block, not a copy.
+            let snapshot: Vec<Payload> = blocks.iter().map(|b| b.values.clone()).collect();
             for state in blocks.iter_mut() {
                 for dep in kernel.dependencies(state.id) {
                     state.view.set(dep, snapshot[dep].clone());
@@ -61,7 +62,7 @@ impl SequentialRuntime {
             }
         }
 
-        let values: Vec<Vec<f64>> = blocks.iter().map(|b| b.values.clone()).collect();
+        let values: Vec<Vec<f64>> = blocks.iter().map(|b| b.values.to_vec()).collect();
         RunReport {
             mode: ExecutionMode::Synchronous,
             backend: "sequential".to_string(),
@@ -72,6 +73,8 @@ impl SequentialRuntime {
             data_bytes: 0,
             coalesced_messages: 0,
             peak_mailbox_occupancy: 0,
+            payload_clones: blocks.iter().map(|b| b.payload_clones).sum(),
+            bytes_copied: blocks.iter().map(|b| b.bytes_copied).sum(),
             cpu_queue_secs: 0.0,
             converged,
             premature_stop: false,

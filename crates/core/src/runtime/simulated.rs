@@ -37,7 +37,7 @@ use crate::block::BlockState;
 use crate::config::{ExecutionMode, RunConfig};
 use crate::convergence::{GlobalDetector, LocalConvergence};
 use crate::depgraph::DependencyGraph;
-use crate::kernel::IterativeKernel;
+use crate::kernel::{IterativeKernel, Payload};
 use crate::placement::{Placement, PlacementPolicy};
 use crate::report::RunReport;
 use aiac_envs::env::{EnvKind, Environment};
@@ -271,8 +271,9 @@ impl SimulatedRuntime {
                 .collect();
 
             // Numerically, a synchronous iteration is a Jacobi sweep: all blocks
-            // read the values of the previous iteration.
-            let snapshot: Vec<Vec<f64>> = states.iter().map(|s| s.values.clone()).collect();
+            // read the values of the previous iteration (a refcount bump per
+            // block, not a copy).
+            let snapshot: Vec<Payload> = states.iter().map(|s| s.values.clone()).collect();
             for state in states.iter_mut() {
                 for dep in graph.in_neighbours(state.id) {
                     state.view.set(*dep, snapshot[*dep].clone());
@@ -405,7 +406,7 @@ impl SimulatedRuntime {
             }
         }
 
-        let values: Vec<Vec<f64>> = states.iter().map(|s| s.values.clone()).collect();
+        let values: Vec<Vec<f64>> = states.iter().map(|s| s.values.to_vec()).collect();
         let report = RunReport {
             mode: ExecutionMode::Synchronous,
             backend: self.env.kind().label().to_string(),
@@ -416,6 +417,8 @@ impl SimulatedRuntime {
             data_bytes,
             coalesced_messages: 0,
             peak_mailbox_occupancy: 0,
+            payload_clones: states.iter().map(|s| s.payload_clones).sum(),
+            bytes_copied: states.iter().map(|s| s.bytes_copied).sum(),
             cpu_queue_secs: cpu.total_queue_secs(),
             converged,
             premature_stop: false,
@@ -481,7 +484,7 @@ impl SimulatedRuntime {
         let values: Vec<Vec<f64>> = engine
             .procs
             .iter()
-            .map(|p| p.state.values.clone())
+            .map(|p| p.state.values.to_vec())
             .collect();
         // Honesty check on the stop decision: the centralized detector's
         // verdict is final even when a de-convergence report is still in
@@ -510,6 +513,8 @@ impl SimulatedRuntime {
             data_bytes: engine.stats.data_bytes,
             coalesced_messages: 0,
             peak_mailbox_occupancy: 0,
+            payload_clones: engine.procs.iter().map(|p| p.state.payload_clones).sum(),
+            bytes_copied: engine.procs.iter().map(|p| p.state.bytes_copied).sum(),
             cpu_queue_secs,
             converged: decided && !premature,
             premature_stop: premature,
@@ -536,7 +541,7 @@ enum SimEvent {
         to: usize,
         from: usize,
         iteration: u64,
-        values: Vec<f64>,
+        values: Payload,
     },
     /// A data message has crossed the network and now queues for one of the
     /// destination host's dedicated receiving threads (dedicated disciplines
@@ -545,7 +550,7 @@ enum SimEvent {
         to: usize,
         from: usize,
         iteration: u64,
-        values: Vec<f64>,
+        values: Payload,
         /// Receiver-side CPU cost of unpacking this message.
         handle_cost: SimTime,
     },

@@ -67,6 +67,8 @@ struct BlockOutcome {
     values: Vec<f64>,
     iterations: u64,
     residual: f64,
+    payload_clones: u64,
+    bytes_copied: u64,
 }
 
 /// The shared run queue blocks are scheduled on.
@@ -462,9 +464,13 @@ impl AsyncPool<'_> {
     fn finish(&self, block: usize, task: &mut AsyncTask, coord_tx: &Sender<CoordEvent>) {
         task.done = true;
         *self.results[block].lock().unwrap() = Some(BlockOutcome {
-            values: std::mem::take(&mut task.state.values),
+            // One copy per block at retirement, off the hot path (the shared
+            // payload may still be referenced by the mailboxes).
+            values: task.state.values.to_vec(),
             iterations: task.state.iteration,
             residual: task.state.residual,
+            payload_clones: task.state.payload_clones,
+            bytes_copied: task.state.bytes_copied,
         });
         if !self.stop.load(Ordering::SeqCst) {
             // Iteration-limit exit before any stop order: global convergence
@@ -554,7 +560,9 @@ fn sync_worker(
         *results[state.id].lock().unwrap() = Some(BlockOutcome {
             iterations: state.iteration,
             residual: state.residual,
-            values: state.values,
+            payload_clones: state.payload_clones,
+            bytes_copied: state.bytes_copied,
+            values: state.values.to_vec(),
         });
     }
 }
@@ -584,9 +592,13 @@ fn finalize_report(
     let mut values = Vec::with_capacity(m);
     let mut iterations = Vec::with_capacity(m);
     let mut final_residual = 0.0f64;
+    let mut payload_clones = 0u64;
+    let mut bytes_copied = 0u64;
     for outcome in outcomes.into_iter().flatten() {
         final_residual = final_residual.max(outcome.residual);
         iterations.push(outcome.iterations);
+        payload_clones += outcome.payload_clones;
+        bytes_copied += outcome.bytes_copied;
         values.push(outcome.values);
     }
     Ok(RunReport {
@@ -599,6 +611,8 @@ fn finalize_report(
         data_bytes,
         coalesced_messages: mailbox_stats.coalesced,
         peak_mailbox_occupancy: mailbox_stats.peak_occupancy,
+        payload_clones,
+        bytes_copied,
         cpu_queue_secs: 0.0,
         converged,
         premature_stop: false,
@@ -738,6 +752,24 @@ mod tests {
     }
 
     #[test]
+    fn native_in_place_kernel_runs_zero_copy_in_both_modes() {
+        // RingContraction overrides `update_block_into`, so the data plane
+        // must never fall back to the copying path: payloads travel only by
+        // Arc refcount through the mailboxes and dependency views.
+        let kernel = RingContraction::new(6);
+        for config in [
+            RunConfig::synchronous(1e-10).with_num_workers(3),
+            RunConfig::asynchronous(1e-10)
+                .with_streak(4)
+                .with_num_workers(3),
+        ] {
+            let report = ThreadedRuntime::new().run(&kernel, &config);
+            assert_eq!(report.payload_clones, 0, "{:?}", config.mode);
+            assert_eq!(report.bytes_copied, 0, "{:?}", config.mode);
+        }
+    }
+
+    #[test]
     fn try_run_reports_invalid_configurations() {
         let kernel = RingContraction::new(2);
         let bad = RunConfig::asynchronous(1e-8).with_num_workers(0);
@@ -755,6 +787,8 @@ mod tests {
                 values: vec![v],
                 iterations: 1,
                 residual: 0.0,
+                payload_clones: 0,
+                bytes_copied: 0,
             })
         };
         let err = finalize_report(

@@ -12,7 +12,7 @@
 //! [`crate::chemical::ChemicalProblem`].
 
 use super::model;
-use aiac_core::kernel::{BlockUpdate, DependencyView, IterativeKernel};
+use aiac_core::kernel::{BlockUpdate, DependencyView, InPlaceUpdate, IterativeKernel};
 use aiac_linalg::csr::CsrMatrix;
 use aiac_linalg::decomp::Partition;
 use aiac_linalg::gmres::{Gmres, GmresParams};
@@ -390,12 +390,29 @@ impl IterativeKernel for ChemicalStepKernel {
     }
 
     fn update_block(&self, block: usize, local: &[f64], others: &DependencyView) -> BlockUpdate {
+        let mut values = vec![0.0; local.len()];
+        let update = self.update_block_into(block, local, others, &mut values);
+        BlockUpdate {
+            values,
+            residual: update.residual,
+        }
+    }
+
+    fn update_block_into(
+        &self,
+        block: usize,
+        local: &[f64],
+        others: &DependencyView,
+        out: &mut [f64],
+    ) -> InPlaceUpdate {
         // One Newton iteration on the strip: solve (I − h·J_f)·Δ = −G.
         let g = self.local_g(block, local, others);
         let jac = self.local_jacobian(block, local, others);
         let rhs: Vec<f64> = g.iter().map(|v| -v).collect();
         let (delta, _outcome) = self.gmres.solve_from_zero(&jac, &rhs);
-        let values: Vec<f64> = local.iter().zip(&delta).map(|(y, d)| y + d).collect();
+        for ((oi, y), d) in out.iter_mut().zip(local).zip(&delta) {
+            *oi = y + d;
+        }
         // Residual: largest Newton correction relative to the species scale,
         // so the two species (1e6 vs 1e12) are weighted comparably.
         let mut residual = 0.0f64;
@@ -407,7 +424,10 @@ impl IterativeKernel for ChemicalStepKernel {
             };
             residual = residual.max(d.abs() / scale);
         }
-        BlockUpdate { values, residual }
+        InPlaceUpdate {
+            residual,
+            copied: false,
+        }
     }
 
     fn iteration_cost(&self, block: usize) -> f64 {
