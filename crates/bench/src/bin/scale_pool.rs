@@ -2,18 +2,19 @@
 //!
 //! A thin wrapper over the harness's `scale_pool` spec
 //! ([`aiac_bench::harness::spec::scale_pool_spec`]): the ring contraction
-//! driven through the threaded executor in both modes — the synchronous
-//! (SISC) barrier-separated supersteps and the asynchronous (AIAC) worker
-//! pool with newest-wins coalescing mailboxes. The spec's checks assert
-//! the two properties the one-thread-per-block executor could not offer:
-//! the process needs only `num_workers` OS threads regardless of the block
-//! count, and peak in-flight data stays bounded by the dependency-edge
-//! count.
+//! driven through the threaded executor three ways — the synchronous (SISC)
+//! barrier-separated supersteps, the asynchronous (AIAC) work-stealing
+//! worker pool, and the shared-FIFO scheduling baseline the stealing pool
+//! replaced. The spec's checks assert the properties the one-thread-per-
+//! block executor could not offer: the process needs only `num_workers` OS
+//! threads regardless of the block count, peak in-flight data stays bounded
+//! by the dependency-edge count, an oversubscribed stealing pool actually
+//! steals, and stealing is not slower than the FIFO queue.
 //!
 //! Usage: `scale_pool [blocks] [workers]` — `blocks` defaults to 1024,
 //! `workers` to the machine's available parallelism.
 //!
-//! Exit codes: 0 = both modes hit the fixed point within bounds,
+//! Exit codes: 0 = all cells hit the fixed point within bounds,
 //! 1 = a check failed, 2 = malformed arguments.
 
 use aiac_bench::harness::run_spec;
@@ -70,8 +71,9 @@ fn main() {
     for cell in &record.cells {
         let metric = |name: &str| cell.metric(name).map(|m| m.value);
         println!(
-            "{:<5}: {:.3} s wall, {} OS workers, {} iterations total, \
-             {} data messages ({} coalesced), peak in-flight slots {} / {} edges",
+            "{:<10}: {:.3} s wall, {} OS workers, {} iterations total, \
+             {} data messages ({} coalesced), peak in-flight slots {} / {} edges, \
+             {} steals ({} failed attempts), {} local pushes, {} queue waits",
             cell.cell,
             metric("wall_median_secs").unwrap_or(f64::NAN),
             metric("workers").unwrap_or(f64::NAN),
@@ -80,6 +82,10 @@ fn main() {
             metric("coalesced_messages").unwrap_or(f64::NAN),
             metric("peak_mailbox_occupancy").unwrap_or(f64::NAN),
             metric("edges").unwrap_or(f64::NAN),
+            metric("steals").unwrap_or(f64::NAN),
+            metric("failed_steal_attempts").unwrap_or(f64::NAN),
+            metric("local_pushes").unwrap_or(f64::NAN),
+            metric("queue_wait_events").unwrap_or(f64::NAN),
         );
         for failure in &cell.check_failures {
             eprintln!("scale_pool: {}: {failure}", cell.cell);
@@ -89,5 +95,5 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    println!("ok: both modes bounded in-flight data by the edge count");
+    println!("ok: all cells bounded in-flight data and the stealing pool held its checks");
 }

@@ -177,6 +177,20 @@ pub enum Check {
     /// Speed-weighted placement must beat round-robin at every block count
     /// of a placement sweep.
     SpeedWeightedBeatsRoundRobin,
+    /// The asynchronous work-stealing cell of a pool-scale experiment must
+    /// report at least one successful steal when the pool is oversubscribed
+    /// (more blocks than workers, and more than one worker) — an idle-worker
+    /// pool that never steals is a scheduler regression.
+    StealsObserved,
+    /// The asynchronous work-stealing cell must not be slower than the
+    /// shared-FIFO baseline cell: its best wall-clock time may exceed the
+    /// FIFO cell's by at most `tolerance` (relative) — and small absolute
+    /// differences are forgiven entirely, so millisecond-scale smoke cells
+    /// cannot flake on scheduler noise.
+    StealingNotSlower {
+        /// Allowed relative slowdown (0.5 = up to 1.5× the FIFO time).
+        tolerance: f64,
+    },
 }
 
 /// A declarative description of one experiment.
@@ -325,8 +339,12 @@ pub fn table2_spec(n: usize, blocks: usize, scale: &ExperimentScale) -> Experime
 }
 
 /// The `scale_pool` spec: the ring contraction over the real worker-pool
-/// executor, sync and async, asserting the fixed point and the O(edges)
-/// in-flight-data bound.
+/// executor — synchronous supersteps, the asynchronous work-stealing pool
+/// and the shared-FIFO baseline — asserting the fixed point, the O(edges)
+/// in-flight-data bound, and the two scheduler invariants: an oversubscribed
+/// stealing pool actually steals, and stealing is not slower than the FIFO
+/// queue it replaced. Three repeats so the wall-clock comparison uses a
+/// minimum over runs rather than a single noisy sample.
 pub fn scale_pool_spec(blocks: usize, workers: Option<usize>) -> ExperimentSpec {
     ExperimentSpec {
         name: "scale_pool".to_string(),
@@ -343,12 +361,14 @@ pub fn scale_pool_spec(blocks: usize, workers: Option<usize>) -> ExperimentSpec 
         epsilon: 1e-8,
         streak: 3,
         warmup: 0,
-        repeats: 1,
+        repeats: 3,
         checks: vec![
             Check::Converged,
             Check::FixedPoint { tolerance: 1e-5 },
             Check::MailboxBound,
             Check::ZeroCopy,
+            Check::StealsObserved,
+            Check::StealingNotSlower { tolerance: 0.5 },
         ],
     }
 }
@@ -383,7 +403,11 @@ pub fn oversub_spec(block_counts: &[usize]) -> ExperimentSpec {
 ///
 /// Smoke keeps every run in the seconds range so the CI gate stays cheap:
 /// a 1500-unknown sparse system, a 256-block pool and a 64/128-block
-/// oversubscription sweep. Full restores the historical binary defaults.
+/// oversubscription sweep. Full restores the historical binary defaults —
+/// except `scale_pool`, which grew to a steal-heavy 4096-block / 8-worker
+/// cell when the executor moved to per-worker deques (512 blocks per worker
+/// keeps the pool oversubscribed enough that the steal path is exercised,
+/// not just reachable).
 pub fn registry(scale: &ExperimentScale, fidelity: Fidelity) -> Vec<ExperimentSpec> {
     match fidelity {
         Fidelity::Smoke => vec![
@@ -395,7 +419,7 @@ pub fn registry(scale: &ExperimentScale, fidelity: Fidelity) -> Vec<ExperimentSp
         Fidelity::Full => vec![
             table1_spec(scale),
             table2_spec(scale.sparse_n, scale.sparse_blocks, scale),
-            scale_pool_spec(1024, None),
+            scale_pool_spec(4096, Some(8)),
             oversub_spec(&[64, 128, 256, 512, 1024]),
         ],
     }
@@ -445,14 +469,31 @@ mod tests {
     fn full_fidelity_matches_the_historical_binary_defaults() {
         let scale = ExperimentScale::scaled();
         let specs = registry(&scale, Fidelity::Full);
+        // scale_pool deliberately outgrew its historical 1024-block default:
+        // the steal-heavy cell is 4096 blocks over an 8-worker pool.
         assert_eq!(
             specs[2].problem,
             ProblemSpec::Ring {
-                blocks: 1024,
+                blocks: 4096,
                 cost_secs: 1e-6
             }
         );
+        assert_eq!(specs[2].workers, Some(8));
         assert_eq!(specs[3].block_sweep, vec![64, 128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn scale_pool_carries_the_scheduler_checks() {
+        let spec = scale_pool_spec(256, Some(4));
+        assert!(spec.checks.contains(&Check::StealsObserved));
+        assert!(spec
+            .checks
+            .iter()
+            .any(|c| matches!(c, Check::StealingNotSlower { tolerance } if *tolerance > 0.0)));
+        assert!(
+            spec.repeats >= 3,
+            "the wall comparison needs a min over runs"
+        );
     }
 
     #[test]

@@ -46,6 +46,40 @@ impl std::fmt::Display for ExecutionMode {
     }
 }
 
+/// How the threaded back-end's asynchronous worker pool schedules ready
+/// blocks (the synchronous mode runs a static partition and ignores this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StealPolicy {
+    /// Per-worker Chase–Lev-style deques (LIFO owner pop) with randomized
+    /// stealing (FIFO) and exponential-backoff parking for idle workers —
+    /// the default, and the only policy the locality bias applies to.
+    #[default]
+    WorkStealing,
+    /// Every ready block goes through one shared FIFO queue. This is the
+    /// pre-work-stealing scheduler, kept as the comparison baseline the
+    /// bench harness gates stealing against.
+    SharedFifo,
+}
+
+impl StealPolicy {
+    /// Both policies, in display order.
+    pub const ALL: [StealPolicy; 2] = [StealPolicy::WorkStealing, StealPolicy::SharedFifo];
+
+    /// Short label used in tables and CLIs.
+    pub fn label(self) -> &'static str {
+        match self {
+            StealPolicy::WorkStealing => "stealing",
+            StealPolicy::SharedFifo => "fifo",
+        }
+    }
+}
+
+impl std::fmt::Display for StealPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Why a [`RunConfig`] failed validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ConfigError {
@@ -57,6 +91,9 @@ pub enum ConfigError {
     ZeroMaxIterations,
     /// An explicit worker-pool size of zero was requested.
     ZeroWorkers,
+    /// The locality bias was requested together with the shared-FIFO
+    /// scheduler, which has no per-worker deque to bias towards.
+    LocalityBiasWithoutStealing,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -67,6 +104,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroMaxIterations => "max_iterations must be > 0",
             ConfigError::ZeroWorkers => {
                 "num_workers must be > 0 (leave it unset for the automatic default)"
+            }
+            ConfigError::LocalityBiasWithoutStealing => {
+                "locality_bias requires steal_policy = work-stealing \
+                 (the shared FIFO queue has no per-worker deques)"
             }
         })
     }
@@ -100,6 +141,16 @@ pub struct RunConfig {
     /// outnumber machines (the oversubscribed regime of Figure 3). The
     /// real-thread back-ends ignore it.
     pub placement: PlacementPolicy,
+    /// How the threaded back-end's asynchronous pool schedules ready blocks:
+    /// per-worker deques with randomized stealing (the default) or the
+    /// shared FIFO queue kept as the comparison baseline. The synchronous
+    /// mode and the other back-ends ignore it.
+    pub steal_policy: StealPolicy,
+    /// When true (the default under [`StealPolicy::WorkStealing`]), a block's
+    /// publishes push its ready dependants onto the deque of the worker that
+    /// ran the publisher, so the freshly produced payload is consumed where
+    /// it is cache-hot. Invalid with [`StealPolicy::SharedFifo`].
+    pub locality_bias: bool,
 }
 
 impl RunConfig {
@@ -113,6 +164,8 @@ impl RunConfig {
             seed: 0,
             num_workers: None,
             placement: PlacementPolicy::RoundRobin,
+            steal_policy: StealPolicy::WorkStealing,
+            locality_bias: true,
         }
     }
 
@@ -126,6 +179,8 @@ impl RunConfig {
             seed: 0,
             num_workers: None,
             placement: PlacementPolicy::RoundRobin,
+            steal_policy: StealPolicy::WorkStealing,
+            locality_bias: true,
         }
     }
 
@@ -161,17 +216,49 @@ impl RunConfig {
         self
     }
 
+    /// Sets the threaded back-end's scheduling policy (builder style).
+    /// Selecting the shared FIFO queue also clears the locality bias, which
+    /// only makes sense with per-worker deques (an explicit
+    /// [`RunConfig::with_locality_bias`] afterwards is rejected by
+    /// validation).
+    pub fn with_steal_policy(mut self, policy: StealPolicy) -> Self {
+        self.steal_policy = policy;
+        if policy == StealPolicy::SharedFifo {
+            self.locality_bias = false;
+        }
+        self
+    }
+
+    /// Sets the dependency-aware placement bias of the work-stealing pool
+    /// (builder style).
+    pub fn with_locality_bias(mut self, bias: bool) -> Self {
+        self.locality_bias = bias;
+        self
+    }
+
     /// The worker-pool size the threaded back-end actually uses for a problem
     /// of `num_blocks` blocks: the configured size (or the machine's
-    /// available parallelism when unset), clamped to the block count and to a
-    /// minimum of one.
+    /// available parallelism when unset), clamped to the block count.
+    ///
+    /// This is the **only** place a worker count is ever clamped. An explicit
+    /// `num_workers == 0` is *not* silently promoted here — it is rejected
+    /// up front by [`RunConfig::try_validate`] with
+    /// [`ConfigError::ZeroWorkers`] (the runtimes validate before resolving
+    /// the pool size, so this method never observes one).
     pub fn effective_num_workers(&self, num_blocks: usize) -> usize {
-        let requested = self.num_workers.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        });
-        requested.min(num_blocks).max(1)
+        debug_assert!(
+            self.num_workers != Some(0),
+            "validate the config before resolving the pool size"
+        );
+        let requested = self
+            .num_workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .max(1);
+        requested.min(num_blocks.max(1))
     }
 
     /// Checks the configuration is usable, reporting the first problem found
@@ -188,6 +275,9 @@ impl RunConfig {
         }
         if self.num_workers == Some(0) {
             return Err(ConfigError::ZeroWorkers);
+        }
+        if self.locality_bias && self.steal_policy == StealPolicy::SharedFifo {
+            return Err(ConfigError::LocalityBiasWithoutStealing);
         }
         Ok(())
     }
@@ -314,15 +404,59 @@ mod tests {
 
     #[test]
     fn effective_workers_clamp_to_the_block_count() {
+        // The clamp lives in effective_num_workers and nowhere else: an
+        // oversized request passes validation (it is usable, just larger
+        // than useful) and is resolved against the block count here.
         let c = RunConfig::asynchronous(1e-6).with_num_workers(8);
+        assert!(c.try_validate().is_ok());
         assert_eq!(c.effective_num_workers(3), 3);
         assert_eq!(c.effective_num_workers(100), 8);
+        let oversized = RunConfig::asynchronous(1e-6).with_num_workers(usize::MAX);
+        assert!(oversized.try_validate().is_ok());
+        assert_eq!(oversized.effective_num_workers(5), 5);
         // the automatic default is at least one worker, never more than the
         // number of blocks
         let auto = RunConfig::asynchronous(1e-6);
         assert_eq!(auto.effective_num_workers(1), 1);
         assert!(auto.effective_num_workers(1024) >= 1);
         assert!(auto.effective_num_workers(1024) <= 1024);
+    }
+
+    #[test]
+    fn default_scheduler_is_work_stealing_with_locality_bias() {
+        for c in [RunConfig::asynchronous(1e-6), RunConfig::synchronous(1e-6)] {
+            assert_eq!(c.steal_policy, StealPolicy::WorkStealing);
+            assert!(c.locality_bias);
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn shared_fifo_clears_the_locality_bias_but_an_explicit_bias_is_rejected() {
+        let fifo = RunConfig::asynchronous(1e-6).with_steal_policy(StealPolicy::SharedFifo);
+        assert!(!fifo.locality_bias);
+        assert!(fifo.try_validate().is_ok());
+        let contradictory = fifo.with_locality_bias(true);
+        assert_eq!(
+            contradictory.try_validate(),
+            Err(ConfigError::LocalityBiasWithoutStealing)
+        );
+        assert!(contradictory
+            .try_validate()
+            .unwrap_err()
+            .to_string()
+            .contains("locality_bias"));
+        // turning the bias off under work-stealing is always fine
+        let unbiased = RunConfig::asynchronous(1e-6).with_locality_bias(false);
+        assert!(unbiased.try_validate().is_ok());
+    }
+
+    #[test]
+    fn steal_policy_labels_are_stable() {
+        assert_eq!(StealPolicy::WorkStealing.label(), "stealing");
+        assert_eq!(format!("{}", StealPolicy::SharedFifo), "fifo");
+        assert_eq!(StealPolicy::default(), StealPolicy::WorkStealing);
+        assert_eq!(StealPolicy::ALL.len(), 2);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod placement;
 pub mod report;
 pub mod runtime;
 
-pub use config::{ConfigError, ExecutionMode, RunConfig};
+pub use config::{ConfigError, ExecutionMode, RunConfig, StealPolicy};
 pub use kernel::{BlockUpdate, IterativeKernel};
 pub use placement::{Placement, PlacementPolicy};
 pub use report::{RunError, RunReport};

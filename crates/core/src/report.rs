@@ -88,6 +88,23 @@ pub struct RunReport {
     pub payload_clones: u64,
     /// Payload bytes copied by those fallback iterations (8 bytes per `f64`).
     pub bytes_copied: u64,
+    /// Blocks an idle worker took from another worker's deque (successful
+    /// steals). Non-zero only for the threaded executor's asynchronous
+    /// work-stealing pool; the synchronous mode runs a static partition and
+    /// reports a *structural* 0, as do the shared-FIFO policy and the other
+    /// back-ends.
+    pub steals: u64,
+    /// Steal attempts that found the victim empty or lost the claiming race.
+    /// Same structural-zero rule as [`RunReport::steals`].
+    pub failed_steal_attempts: u64,
+    /// Publishes whose ready dependants were pushed onto the publishing
+    /// worker's own deque (the locality bias keeping the fresh payload
+    /// cache-hot). Same structural-zero rule as [`RunReport::steals`].
+    pub local_pushes: u64,
+    /// Times a worker exhausted its pop → steal sweep → overflow queue →
+    /// steal-with-backoff sequence and parked on the pool's condition
+    /// variable. Same structural-zero rule as [`RunReport::steals`].
+    pub queue_wait_events: u64,
     /// Total virtual seconds that compute phases and message receptions
     /// spent waiting for a free CPU core on their host. Non-zero only for
     /// the simulated back-end when blocks outnumber cores (oversubscribed
@@ -169,6 +186,10 @@ mod tests {
             peak_mailbox_occupancy: 0,
             payload_clones: 0,
             bytes_copied: 0,
+            steals: 0,
+            failed_steal_attempts: 0,
+            local_pushes: 0,
+            queue_wait_events: 0,
             cpu_queue_secs: 0.0,
             converged: true,
             premature_stop: false,

@@ -16,11 +16,13 @@
 //!   heterogeneous machines behind 10 Mb Ethernet and ADSL links cannot be
 //!   conjured on a development box.
 
+pub mod deque;
 pub mod mailbox;
 pub mod sequential;
 pub mod simulated;
 pub mod threaded;
 
+pub use deque::{PushError, Steal, StealDeque};
 pub use mailbox::{CoalescingMailboxes, MailboxStats};
 pub use sequential::SequentialRuntime;
 pub use simulated::{SimulatedRuntime, SimulationOutcome};

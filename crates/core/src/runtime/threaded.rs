@@ -9,11 +9,20 @@
 //! bound. The executor now follows the asynchronous many-tasking recipe
 //! instead:
 //!
-//! * **Worker pool** — `RunConfig::num_workers` OS threads (default: the
-//!   machine's available parallelism, never more than the block count)
-//!   multiplex the `m` blocks as lightweight tasks pulled from a shared run
-//!   queue. Idle workers *park* on a condition variable instead of
-//!   busy-spinning.
+//! * **Work-stealing worker pool** — `RunConfig::num_workers` OS threads
+//!   (default: the machine's available parallelism, never more than the
+//!   block count) multiplex the `m` blocks as lightweight tasks. Each worker
+//!   owns a bounded Chase–Lev-style deque ([`super::deque::StealDeque`]):
+//!   the owner pushes and pops in LIFO order (newest work is cache-hottest)
+//!   while idle workers steal from randomized victims at the FIFO end,
+//!   spinning through an exponential backoff before *parking* on a condition
+//!   variable. A shared FIFO injector carries cross-thread work (the initial
+//!   broadcast, the stop/drain broadcasts, deque-overflow spill) — and under
+//!   [`crate::config::StealPolicy::SharedFifo`] *all* work, reproducing the
+//!   pre-work-stealing scheduler as a comparison baseline. When
+//!   `RunConfig::locality_bias` is set, a publish pushes the ready
+//!   dependants onto the publishing worker's own deque, so the freshly
+//!   produced payload is consumed where it is still cache-hot.
 //! * **Coalescing mailboxes** — block data travels through
 //!   [`super::mailbox::CoalescingMailboxes`]: one newest-wins slot per
 //!   dependency edge, so in-flight data storage is O(edges) regardless of how
@@ -41,18 +50,39 @@
 //!   next publish from one of its dependencies (or by the stop broadcast).
 
 use crate::block::BlockState;
-use crate::config::{ExecutionMode, RunConfig};
+use crate::config::{ExecutionMode, RunConfig, StealPolicy};
 use crate::convergence::{GlobalDetector, LocalConvergence};
 use crate::depgraph::DependencyGraph;
 use crate::kernel::IterativeKernel;
 use crate::message::Message;
 use crate::report::{RunError, RunReport};
+use crate::runtime::deque::{Steal, StealDeque};
 use crate::runtime::mailbox::{CoalescingMailboxes, MailboxStats};
 use crossbeam::channel::{unbounded, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Condvar, Mutex};
 use std::time::Instant;
+
+/// Number of randomized victim sweeps an idle worker runs before parking.
+const STEAL_ROUNDS: u32 = 4;
+/// Spin iterations after the first failed sweep; doubles every round.
+const SPIN_BASE: u32 = 32;
+/// Every this-many acquisition laps a stealing worker checks the shared
+/// injector *before* its own deque (the same fairness valve as tokio's
+/// global-queue interval): demoted and overflow work is guaranteed to
+/// circulate even while the worker's own LIFO top stays productive.
+const FAIRNESS_INTERVAL: u32 = 17;
+
+/// The splitmix64 generator: cheap, seedable, and good enough for victim
+/// selection (the same generator the test-suite uses for pause schedules).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// What a worker tells the coordinator.
 enum CoordEvent {
@@ -71,85 +101,300 @@ struct BlockOutcome {
     bytes_copied: u64,
 }
 
-/// The shared run queue blocks are scheduled on.
+/// Scheduling counters of one asynchronous run. All four stay zero for the
+/// synchronous mode (its static partition never touches the pool) and the
+/// first three are structurally zero under [`StealPolicy::SharedFifo`].
+#[derive(Debug, Default, Clone, Copy)]
+struct SchedCounters {
+    steals: u64,
+    failed_steal_attempts: u64,
+    local_pushes: u64,
+    queue_wait_events: u64,
+}
+
+/// The work-stealing run queue blocks are scheduled on.
 ///
-/// Each block is enqueued at most once (`queued` flags); workers with nothing
-/// to do park on the condition variable until a publish, a broadcast or the
-/// final close wakes them.
-struct Scheduler {
-    state: Mutex<SchedQueue>,
+/// Each block is queued at most once anywhere (the `queued` bits), which
+/// bounds every per-worker deque at `num_blocks` entries — so the deques are
+/// allocated once at that capacity and never grow. Ready blocks travel one
+/// of two routes: onto the enqueuing worker's own deque (the owner-push /
+/// locality path), or through the shared FIFO `injector` (coordinator
+/// broadcasts, deque-overflow spill, and everything under
+/// [`StealPolicy::SharedFifo`]). Workers with nothing to pop, drain or steal
+/// park on the condition variable; the `pending`/`sleepers` pair implements
+/// the Dekker-style handshake that makes the park race-free without any
+/// timeout sleep.
+struct WorkPool {
+    /// One owner deque per worker (empty under [`StealPolicy::SharedFifo`]).
+    deques: Vec<StealDeque>,
+    /// Shared FIFO overflow and cross-thread queue.
+    injector: Mutex<VecDeque<usize>>,
+    /// The at-most-once-queued bit per block.
+    queued: Vec<AtomicBool>,
+    /// Blocks queued (anywhere) and not yet taken by a worker.
+    pending: AtomicUsize,
+    /// Count of enqueue events. A stealing worker whose whole acquisition
+    /// lap came up empty parks until this moves — unlike `pending`, which
+    /// stays positive while the only queued work sits on another worker's
+    /// deque and keeps a pool of idle thieves busy-looping (ruinous when
+    /// the workers oversubscribe the machine's cores).
+    epoch: AtomicUsize,
+    /// Workers currently inside [`WorkPool::park_idle`].
+    sleepers: AtomicUsize,
+    /// The parking lot. The mutex guards no data — it only sequences the
+    /// sleeper's `pending` re-check against the publisher's notify.
+    park: Mutex<()>,
     ready: Condvar,
+    closed: AtomicBool,
+    /// True when the pool runs more workers than the machine has cores. A
+    /// spin-wait then burns the timeslice the worker holding the work needs,
+    /// so backoff yields to the OS scheduler instead of spinning.
+    oversubscribed: bool,
+    steals: AtomicU64,
+    failed_steal_attempts: AtomicU64,
+    local_pushes: AtomicU64,
+    queue_wait_events: AtomicU64,
 }
 
-struct SchedQueue {
-    queue: VecDeque<usize>,
-    queued: Vec<bool>,
-    closed: bool,
-}
-
-impl Scheduler {
-    fn new(num_blocks: usize) -> Self {
+impl WorkPool {
+    fn new(num_blocks: usize, workers: usize, policy: StealPolicy) -> Self {
+        let deques = match policy {
+            StealPolicy::WorkStealing => {
+                (0..workers).map(|_| StealDeque::new(num_blocks)).collect()
+            }
+            StealPolicy::SharedFifo => Vec::new(),
+        };
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         Self {
-            state: Mutex::new(SchedQueue {
-                queue: VecDeque::with_capacity(num_blocks),
-                queued: vec![false; num_blocks],
-                closed: false,
-            }),
+            deques,
+            injector: Mutex::new(VecDeque::with_capacity(num_blocks)),
+            queued: (0..num_blocks).map(|_| AtomicBool::new(false)).collect(),
+            pending: AtomicUsize::new(0),
+            epoch: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            park: Mutex::new(()),
             ready: Condvar::new(),
+            closed: AtomicBool::new(false),
+            oversubscribed: workers > cores,
+            steals: AtomicU64::new(0),
+            failed_steal_attempts: AtomicU64::new(0),
+            local_pushes: AtomicU64::new(0),
+            queue_wait_events: AtomicU64::new(0),
         }
     }
 
-    /// Schedules `block` unless it is already queued; wakes one parked worker.
-    fn enqueue(&self, block: usize) {
-        let mut st = self.state.lock().unwrap();
-        if !st.closed && !st.queued[block] {
-            st.queued[block] = true;
-            st.queue.push_back(block);
-            self.ready.notify_one();
+    /// Schedules `block` unless it is already queued. With `local = Some(w)`
+    /// it goes onto worker `w`'s deque — valid only from worker `w` itself
+    /// (the deques' single-owner push discipline) or before the pool's
+    /// threads spawn — falling back to the injector when that deque is full;
+    /// with `local = None` it goes straight onto the injector. Returns
+    /// whether the block landed on the local deque.
+    fn enqueue(&self, block: usize, local: Option<usize>) -> bool {
+        if self.closed.load(Ordering::SeqCst) || self.queued[block].swap(true, Ordering::SeqCst) {
+            return false;
         }
+        let placed_local = match local {
+            Some(w) => self.deques[w].push(block).is_ok(),
+            None => false,
+        };
+        if !placed_local {
+            self.injector.lock().unwrap().push_back(block);
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.wake(false);
+        placed_local
     }
 
-    /// Schedules every block (the stop/drain broadcast); wakes all workers.
+    /// Schedules every not-yet-queued block onto the injector (the
+    /// stop/drain broadcast) and wakes all workers.
     fn enqueue_all(&self) {
-        let mut st = self.state.lock().unwrap();
-        if st.closed {
+        if self.closed.load(Ordering::SeqCst) {
             return;
         }
-        for block in 0..st.queued.len() {
-            if !st.queued[block] {
-                st.queued[block] = true;
-                st.queue.push_back(block);
+        let mut added = 0usize;
+        {
+            let mut injector = self.injector.lock().unwrap();
+            for block in 0..self.queued.len() {
+                if !self.queued[block].swap(true, Ordering::SeqCst) {
+                    injector.push_back(block);
+                    added += 1;
+                }
             }
         }
+        if added > 0 {
+            self.pending.fetch_add(added, Ordering::SeqCst);
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        // Always wake everyone: even with nothing new queued, parked workers
+        // must re-observe the stop/drain flags that prompted the broadcast.
+        let _lot = self.park.lock().unwrap();
         self.ready.notify_all();
     }
 
-    /// The next block to process, parking the calling worker while the queue
-    /// is empty. Returns `None` once the scheduler is closed.
-    fn next(&self) -> Option<usize> {
-        let mut st = self.state.lock().unwrap();
-        loop {
-            if let Some(block) = st.queue.pop_front() {
-                st.queued[block] = false;
-                return Some(block);
+    /// Bookkeeping for a block just taken off any queue: clears its queued
+    /// bit (so the next publish can re-schedule it) and drops the pending
+    /// count. Must run *before* the block's mailboxes are drained, so a
+    /// publish that raced the take either re-queues the block or its payload
+    /// is picked up by the drain.
+    fn took(&self, block: usize) {
+        self.queued[block].store(false, Ordering::SeqCst);
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn pop_injector(&self) -> Option<usize> {
+        self.injector.lock().unwrap().pop_front()
+    }
+
+    /// One randomized sweep over the other workers' deques. Returns the
+    /// stolen block plus whether any victim was contended (a lost claiming
+    /// race, as opposed to simply empty).
+    fn steal_sweep(&self, worker: usize, rng: &mut u64) -> (Option<usize>, bool) {
+        let n = self.deques.len();
+        if n <= 1 {
+            return (None, false);
+        }
+        let mut saw_contention = false;
+        for _ in 0..n - 1 {
+            let victim = (worker + 1 + (splitmix64(rng) as usize) % (n - 1)) % n;
+            match self.deques[victim].steal() {
+                Steal::Success(block) => {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return (Some(block), saw_contention);
+                }
+                Steal::Retry => {
+                    saw_contention = true;
+                    self.failed_steal_attempts.fetch_add(1, Ordering::Relaxed);
+                }
+                Steal::Empty => {
+                    self.failed_steal_attempts.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            if st.closed {
-                return None;
+        }
+        (None, saw_contention)
+    }
+
+    /// Randomized-victim stealing with exponential backoff: up to
+    /// [`STEAL_ROUNDS`] sweeps over random victims, backing off
+    /// `SPIN_BASE << round` spin iterations between sweeps — or a plain OS
+    /// yield when the pool is oversubscribed, where a spin would burn the
+    /// timeslice of whichever worker actually holds the work. Gives up
+    /// early when the pool closes or nothing is pending anywhere (parking
+    /// beats spinning on an empty pool).
+    fn steal_with_backoff(&self, worker: usize, rng: &mut u64) -> Option<usize> {
+        if self.deques.len() <= 1 {
+            return None;
+        }
+        for round in 0..STEAL_ROUNDS {
+            let (stolen, saw_contention) = self.steal_sweep(worker, rng);
+            if stolen.is_some() {
+                return stolen;
             }
-            st = self.ready.wait(st).unwrap();
+            // Back off and retry only while a victim was contended: an
+            // all-empty sweep means the remaining work (if any) sits on the
+            // injector, which the caller checks next — spinning here would
+            // just delay it.
+            if !saw_contention
+                || self.closed.load(Ordering::SeqCst)
+                || self.pending.load(Ordering::SeqCst) == 0
+            {
+                break;
+            }
+            if self.oversubscribed {
+                std::thread::yield_now();
+            } else {
+                for _ in 0..(SPIN_BASE << round) {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Parks the calling worker until work is pending or the pool closes.
+    ///
+    /// Lost-wakeup freedom is the Dekker argument (everything `SeqCst`): the
+    /// parker advertises itself in `sleepers` and then re-checks `pending`
+    /// under the park lock before waiting; the publisher bumps `pending` and
+    /// then reads `sleepers`, notifying under the same lock when it saw a
+    /// sleeper. Whichever order the two interleave in, either the publisher
+    /// sees the sleeper and notifies, or the parker sees the pending work
+    /// and never waits — so no timeout sleep is needed, and the stop
+    /// broadcast (`closed` in the wait predicate) is observed promptly.
+    fn park_idle(&self, count: bool) {
+        if count {
+            self.queue_wait_events.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut lot = self.park.lock().unwrap();
+        while !self.closed.load(Ordering::SeqCst) && self.pending.load(Ordering::SeqCst) == 0 {
+            lot = self.ready.wait(lot).unwrap();
+        }
+        drop(lot);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Parks the calling worker until an enqueue has happened after the
+    /// caller read `seen` from [`WorkPool::epoch`], or the pool closes.
+    ///
+    /// The stealing workers' variant of [`WorkPool::park_idle`]: a thief
+    /// whose pop, sweep and injector checks all failed has proven that none
+    /// of the work counted by `pending` is available *to it* right now, so
+    /// waiting for `pending == 0` would busy-loop. Waiting for the epoch to
+    /// move instead puts it to sleep until the next enqueue — every take
+    /// path it just tried is fed by one, and each enqueue bumps the epoch
+    /// before the notify, so the same Dekker argument rules out lost
+    /// wakeups.
+    fn park_until_enqueue(&self, seen: usize, count: bool) {
+        if count {
+            self.queue_wait_events.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut lot = self.park.lock().unwrap();
+        while !self.closed.load(Ordering::SeqCst) && self.epoch.load(Ordering::SeqCst) == seen {
+            lot = self.ready.wait(lot).unwrap();
+        }
+        drop(lot);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// The publisher half of the parking handshake (see
+    /// [`WorkPool::park_idle`]); `all` broadcasts instead of waking one.
+    fn wake(&self, all: bool) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _lot = self.park.lock().unwrap();
+            if all {
+                self.ready.notify_all();
+            } else {
+                self.ready.notify_one();
+            }
         }
     }
 
-    /// Shuts the queue down and releases every parked worker.
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Shuts the pool down and releases every parked worker.
     fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        self.closed.store(true, Ordering::SeqCst);
+        let _lot = self.park.lock().unwrap();
         self.ready.notify_all();
+    }
+
+    fn counters(&self) -> SchedCounters {
+        SchedCounters {
+            steals: self.steals.load(Ordering::SeqCst),
+            failed_steal_attempts: self.failed_steal_attempts.load(Ordering::SeqCst),
+            local_pushes: self.local_pushes.load(Ordering::SeqCst),
+            queue_wait_events: self.queue_wait_events.load(Ordering::SeqCst),
+        }
     }
 }
 
-/// Closes the scheduler when a worker unwinds, so the remaining workers and
+/// Closes the pool when a worker unwinds, so the remaining workers and
 /// the coordinator are released instead of parking forever behind a panic.
-struct PanicGuard<'a>(&'a Scheduler);
+struct PanicGuard<'a>(&'a WorkPool);
 
 impl Drop for PanicGuard<'_> {
     fn drop(&mut self) {
@@ -259,6 +504,10 @@ impl ThreadedRuntime {
             data_bytes.load(Ordering::SeqCst),
             converged,
             mailboxes.stats(),
+            // The static partition never touches the work-stealing pool, so
+            // the scheduler counters are structural zeros — which is what
+            // makes them deterministic, gateable metrics for sync cells.
+            SchedCounters::default(),
         )
     }
 
@@ -277,7 +526,7 @@ impl ThreadedRuntime {
             config,
             graph: &graph,
             mailboxes: CoalescingMailboxes::new(&graph),
-            sched: Scheduler::new(m),
+            sched: WorkPool::new(m, workers, config.steal_policy),
             tasks: (0..m)
                 .map(|b| {
                     Mutex::new(AsyncTask {
@@ -296,22 +545,30 @@ impl ThreadedRuntime {
             data_bytes: AtomicU64::new(0),
         };
         // Every block starts runnable ("only the first iteration begins at
-        // the same time on all the processors").
+        // the same time on all the processors"). Under work-stealing the
+        // initial blocks are dealt round-robin across the worker deques —
+        // safe before the threads spawn — so the pool starts balanced and
+        // the first steals target already-loaded victims.
         for block in 0..m {
-            pool.sched.enqueue(block);
+            let local = match config.steal_policy {
+                StealPolicy::WorkStealing => Some(block % workers),
+                StealPolicy::SharedFifo => None,
+            };
+            pool.sched.enqueue(block, local);
         }
 
         let (coord_tx, coord_rx) = unbounded::<CoordEvent>();
         let mut detector = GlobalDetector::new(m);
 
         crossbeam::scope(|scope| {
-            for _ in 0..workers {
+            for worker in 0..workers {
                 let pool = &pool;
                 let coord_tx = coord_tx.clone();
                 scope.spawn(move |_| {
                     let _guard = PanicGuard(&pool.sched);
-                    while let Some(block) = pool.sched.next() {
-                        pool.process(block, &coord_tx);
+                    match config.steal_policy {
+                        StealPolicy::WorkStealing => stealing_worker(pool, worker, &coord_tx),
+                        StealPolicy::SharedFifo => fifo_worker(pool, &coord_tx),
                     }
                 });
             }
@@ -339,6 +596,7 @@ impl ThreadedRuntime {
         .expect("an asynchronous worker thread panicked");
 
         let stats = pool.mailboxes.stats();
+        let sched_counters = pool.sched.counters();
         finalize_report(
             kernel,
             ExecutionMode::Asynchronous,
@@ -353,6 +611,7 @@ impl ThreadedRuntime {
             pool.data_bytes.load(Ordering::SeqCst),
             detector.is_decided(),
             stats,
+            sched_counters,
         )
     }
 }
@@ -366,13 +625,98 @@ struct AsyncTask {
     done: bool,
 }
 
+/// One work-stealing worker: drain the own deque (LIFO), then run one
+/// randomized steal sweep (lock-free, and the victim's FIFO end is the work
+/// with the least locality left to lose), then fall back to the
+/// mutex-guarded injector, then retry contended victims with exponential
+/// backoff, and finally park. Every
+/// [`FAIRNESS_INTERVAL`]-th lap the order inverts and the injector is polled
+/// first, so demoted work cannot starve behind a productive LIFO top. The
+/// `closed` check at the top of every lap is what makes the stop broadcast
+/// prompt even for a worker deep in steal backoff.
+fn stealing_worker(pool: &AsyncPool<'_>, worker: usize, coord_tx: &Sender<CoordEvent>) {
+    let mut rng = pool
+        .config
+        .seed
+        .wrapping_add(0xA076_1D64_78BD_642F)
+        .wrapping_mul(worker as u64 + 1);
+    let mut lap: u32 = 0;
+    while !pool.sched.is_closed() {
+        // Read the enqueue epoch before probing any take path: if the whole
+        // lap fails, the worker parks until the epoch moves past this value,
+        // so an enqueue racing any probe below forces a re-probe instead of
+        // a sleep. (Parking on `pending == 0` instead would busy-loop: the
+        // pending work may all sit on another worker's deque, unavailable
+        // to this thief until its owner pops it or a future sweep wins it.)
+        let seen = pool.sched.epoch.load(Ordering::SeqCst);
+        // Fairness valve: periodically take from a FIFO end — the injector,
+        // or failing that the own deque's oldest entry (an owner-side
+        // `steal`, which is legal Chase-Lev usage) — so neither
+        // stale-demoted blocks nor the seeds at the bottom of the own deque
+        // can starve behind a hot LIFO top.
+        lap = lap.wrapping_add(1);
+        if lap.is_multiple_of(FAIRNESS_INTERVAL) {
+            let oldest =
+                pool.sched
+                    .pop_injector()
+                    .or_else(|| match pool.sched.deques[worker].steal() {
+                        Steal::Success(block) => Some(block),
+                        Steal::Empty | Steal::Retry => None,
+                    });
+            if let Some(block) = oldest {
+                pool.sched.took(block);
+                pool.process(block, Some(worker), coord_tx);
+                continue;
+            }
+        }
+        if let Some(block) = pool.sched.deques[worker].pop() {
+            pool.sched.took(block);
+            pool.process(block, Some(worker), coord_tx);
+        } else if let (Some(block), _) = pool.sched.steal_sweep(worker, &mut rng) {
+            // One cheap sweep only: when every victim is empty the work (if
+            // any) sits on the injector, and repeating the sweep with
+            // backoff here would tax the common injector-bound lap.
+            pool.sched.took(block);
+            pool.process(block, Some(worker), coord_tx);
+        } else if let Some(block) = pool.sched.pop_injector() {
+            pool.sched.took(block);
+            pool.process(block, Some(worker), coord_tx);
+        } else if let Some(block) = pool.sched.steal_with_backoff(worker, &mut rng) {
+            // Nothing anywhere on the first pass: retry contended victims
+            // with backoff before paying for the condition variable.
+            pool.sched.took(block);
+            pool.process(block, Some(worker), coord_tx);
+        } else {
+            // A worker never reaches this arm with a non-empty own deque
+            // (only it pushes there, and it popped above), so every block
+            // still queued is on the injector or another worker's deque —
+            // and any enqueue after `seen` was read wakes this park.
+            pool.sched.park_until_enqueue(seen, true);
+        }
+    }
+}
+
+/// One shared-FIFO worker (the [`StealPolicy::SharedFifo`] baseline): every
+/// ready block comes off the injector, exactly like the pre-work-stealing
+/// scheduler. The steal counters stay structurally zero on this path.
+fn fifo_worker(pool: &AsyncPool<'_>, coord_tx: &Sender<CoordEvent>) {
+    while !pool.sched.is_closed() {
+        if let Some(block) = pool.sched.pop_injector() {
+            pool.sched.took(block);
+            pool.process(block, None, coord_tx);
+        } else {
+            pool.sched.park_idle(false);
+        }
+    }
+}
+
 /// Everything the asynchronous pool's workers share.
 struct AsyncPool<'a> {
     kernel: &'a dyn IterativeKernel,
     config: &'a RunConfig,
     graph: &'a DependencyGraph,
     mailboxes: CoalescingMailboxes,
-    sched: Scheduler,
+    sched: WorkPool,
     tasks: Vec<Mutex<AsyncTask>>,
     results: Vec<Mutex<Option<BlockOutcome>>>,
     /// Global stop order from the coordinator.
@@ -391,7 +735,12 @@ struct AsyncPool<'a> {
 impl AsyncPool<'_> {
     /// Runs one scheduling slice of `block`: drain its mailboxes, iterate
     /// once, publish, and decide whether to requeue, park or finish.
-    fn process(&self, block: usize, coord_tx: &Sender<CoordEvent>) {
+    ///
+    /// `worker` is the calling worker's deque index under work-stealing
+    /// (`None` on the shared-FIFO path): requeues of `block` itself are
+    /// owner-pushes onto that deque, and — when the locality bias is on —
+    /// so are the ready dependants of a publish.
+    fn process(&self, block: usize, worker: Option<usize>, coord_tx: &Sender<CoordEvent>) {
         let mut task = self.tasks[block].lock().unwrap();
         if task.done {
             return;
@@ -410,12 +759,26 @@ impl AsyncPool<'_> {
             return;
         }
 
-        task.state.iterate(self.kernel);
+        let update_residual = task.state.iterate(self.kernel);
+        // An update far below ε means the block sits at its local fixed
+        // point for its current inputs: with a contracting kernel every
+        // further iterate moves it geometrically less, so the total drift
+        // the gate below can ever suppress is a vanishing fraction of ε.
+        // Same criterion (and constant) as the simulated back-end's
+        // redundant-update skip. An exact-zero test would not do: floating-
+        // point endgames commonly settle into 1-ulp two-cycles that never
+        // reach a bit-stable value.
+        let at_fixed_point = update_residual < self.config.epsilon * 1e-3;
 
         // Local convergence is judged on the cumulative drift since the last
         // window anchor, so that a round of updates split over many cheap
         // iterations is not under-measured. Quiet iterations on stale data do
         // not advance the streak; reports go out only when the state changes.
+        // An at-fixed-point update is the one exception: it is a genuine
+        // converged observation even on stale inputs, and counting it lets a
+        // block finish its streak after its dependencies have gone quiet —
+        // without it, gating publishes below could starve the streak of
+        // fresh data and stall global detection.
         let drift = self
             .kernel
             .residual_between(block, &task.state.values, task.state.anchor());
@@ -425,7 +788,7 @@ impl AsyncPool<'_> {
         let has_dependencies = !self.graph.in_neighbours(block).is_empty();
         if task
             .local
-            .observe_gated(drift, fresh_data || !has_dependencies)
+            .observe_gated(drift, fresh_data || !has_dependencies || at_fixed_point)
         {
             self.control_messages.fetch_add(1, Ordering::Relaxed);
             let _ = coord_tx.send(CoordEvent::StateChange {
@@ -434,12 +797,28 @@ impl AsyncPool<'_> {
             });
         }
 
-        // Publish the fresh values on every out-edge, waking the dependants.
+        // Publish the fresh values on every out-edge, waking the dependants —
+        // onto this worker's own deque when the locality bias is on, so the
+        // fresh payload is consumed where it is still cache-hot. An
+        // at-fixed-point update publishes nothing: the dependants already
+        // hold values indistinguishable at the ε scale, and re-sending them
+        // only re-enqueues the neighbourhood. Without this gate two mutually
+        // dependent blocks at a shared fixed point re-excite each other
+        // forever at the top of one worker's deque — a publish-storm
+        // livelock that the old shared queue merely throttled into
+        // round-robin order.
         let out_degree = self.graph.out_neighbours(block).len() as u64;
-        if out_degree > 0 {
+        if out_degree > 0 && !at_fixed_point {
+            let bias = if self.config.locality_bias {
+                worker
+            } else {
+                None
+            };
             self.mailboxes
                 .publish_from(block, task.state.iteration, &task.state.values, |dst| {
-                    self.sched.enqueue(dst)
+                    if self.sched.enqueue(dst, bias) {
+                        self.sched.local_pushes.fetch_add(1, Ordering::Relaxed);
+                    }
                 });
             self.data_messages.fetch_add(out_degree, Ordering::Relaxed);
             self.data_bytes.fetch_add(
@@ -455,7 +834,14 @@ impl AsyncPool<'_> {
             // fresh data or the stop/drain broadcast re-enqueues everything.
             // This replaces the old executor's yield_now busy-spin.
         } else {
-            self.sched.enqueue(block);
+            // Self-requeue: an owner push onto this worker's deque while
+            // fresh data keeps the block productive (the LIFO pop then runs
+            // it again while its inputs are cache-hot). A block iterating on
+            // stale data is demoted to the shared injector instead — quiet
+            // iterations do not advance the convergence streak, so letting
+            // it spin at the top of its owner's deque would starve the rest
+            // of the pool for no progress (pathological at one worker).
+            self.sched.enqueue(block, worker.filter(|_| fresh_data));
         }
     }
 
@@ -579,6 +965,7 @@ fn finalize_report(
     data_bytes: u64,
     converged: bool,
     mailbox_stats: MailboxStats,
+    sched: SchedCounters,
 ) -> Result<RunReport, RunError> {
     let m = kernel.num_blocks();
     let missing: Vec<usize> = outcomes
@@ -613,6 +1000,10 @@ fn finalize_report(
         peak_mailbox_occupancy: mailbox_stats.peak_occupancy,
         payload_clones,
         bytes_copied,
+        steals: sched.steals,
+        failed_steal_attempts: sched.failed_steal_attempts,
+        local_pushes: sched.local_pushes,
+        queue_wait_events: sched.queue_wait_events,
         cpu_queue_secs: 0.0,
         converged,
         premature_stop: false,
@@ -802,6 +1193,7 @@ mod tests {
             0,
             false,
             MailboxStats::default(),
+            SchedCounters::default(),
         )
         .unwrap_err();
         assert_eq!(
@@ -811,5 +1203,138 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("[1, 3]"), "{err}");
+    }
+
+    #[test]
+    fn shared_fifo_policy_converges_with_structurally_zero_steal_counters() {
+        let kernel = RingContraction::new(8);
+        let config = RunConfig::asynchronous(1e-10)
+            .with_streak(4)
+            .with_num_workers(3)
+            .with_steal_policy(StealPolicy::SharedFifo);
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        assert!(report.converged);
+        let fp = kernel.fixed_point();
+        for v in &report.solution {
+            assert!((v - fp).abs() < 1e-6, "value {v} vs fixed point {fp}");
+        }
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.failed_steal_attempts, 0);
+        assert_eq!(report.local_pushes, 0);
+        assert_eq!(report.queue_wait_events, 0);
+    }
+
+    #[test]
+    fn synchronous_mode_reports_structurally_zero_scheduler_counters() {
+        let kernel = RingContraction::new(6);
+        let config = RunConfig::synchronous(1e-10).with_num_workers(3);
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        assert!(report.converged);
+        assert_eq!(
+            (
+                report.steals,
+                report.failed_steal_attempts,
+                report.local_pushes,
+                report.queue_wait_events
+            ),
+            (0, 0, 0, 0),
+            "the static sync partition must never touch the stealing pool"
+        );
+    }
+
+    #[test]
+    fn locality_bias_produces_local_pushes_on_an_oversubscribed_pool() {
+        // 32 blocks over 2 workers with the bias on: publishes push ready
+        // ring neighbours onto the publisher's own deque, so at least one
+        // local push must be observed on any schedule (every block publishes
+        // to two neighbours every iteration, and only two workers exist to
+        // have them already queued elsewhere).
+        let kernel = RingContraction::new(32);
+        let config = RunConfig::asynchronous(1e-10)
+            .with_streak(3)
+            .with_num_workers(2);
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        assert!(report.converged);
+        assert!(
+            report.local_pushes > 0,
+            "a biased oversubscribed run must place some dependants locally"
+        );
+    }
+
+    #[test]
+    fn disabling_the_locality_bias_still_converges() {
+        let kernel = RingContraction::new(12);
+        let config = RunConfig::asynchronous(1e-10)
+            .with_streak(4)
+            .with_num_workers(3)
+            .with_locality_bias(false);
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        assert!(report.converged);
+        let fp = kernel.fixed_point();
+        for v in &report.solution {
+            assert!((v - fp).abs() < 1e-6, "value {v} vs fixed point {fp}");
+        }
+        assert_eq!(
+            report.local_pushes, 0,
+            "without the bias no dependant may be pushed locally"
+        );
+    }
+
+    #[test]
+    fn iteration_limited_single_worker_run_with_many_blocks_terminates_promptly() {
+        // Regression test for the stop-broadcast audit: a 1-worker pool over
+        // 64 blocks takes the drain path (iteration limit, no stop order).
+        // With a timeout-sleep-based park this hung or crawled; with the
+        // Dekker handshake the drain broadcast must release the run at once.
+        let kernel = Diverging { blocks: 64 };
+        let config = RunConfig::asynchronous(1e-12)
+            .with_max_iterations(5)
+            .with_num_workers(1);
+        let started = std::time::Instant::now();
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        assert!(!report.converged);
+        assert_eq!(report.iterations.len(), 64);
+        assert!(report.iterations.iter().all(|&i| i <= 5));
+        assert!(
+            started.elapsed().as_secs() < 30,
+            "a cancelled 64-block run must terminate promptly, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn stop_broadcast_releases_workers_parked_in_the_steal_path() {
+        // More workers than runnable work: most of the pool spends the run
+        // parked behind failed steals. The stop broadcast must wake every
+        // one of them or the scope join hangs.
+        let kernel = RingContraction::new(8);
+        let config = RunConfig::asynchronous(1e-10)
+            .with_streak(6)
+            .with_num_workers(8);
+        let started = std::time::Instant::now();
+        let report = ThreadedRuntime::new().run(&kernel, &config);
+        assert!(report.converged);
+        assert!(
+            started.elapsed().as_secs() < 30,
+            "parked stealers must observe the stop broadcast, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn steal_policies_agree_on_the_solution() {
+        let kernel = RingContraction::new(16);
+        let fp = kernel.fixed_point();
+        for policy in StealPolicy::ALL {
+            let config = RunConfig::asynchronous(1e-10)
+                .with_streak(4)
+                .with_num_workers(4)
+                .with_steal_policy(policy);
+            let report = ThreadedRuntime::new().run(&kernel, &config);
+            assert!(report.converged, "{policy}");
+            for v in &report.solution {
+                assert!((v - fp).abs() < 1e-6, "{policy}: value {v} vs {fp}");
+            }
+        }
     }
 }

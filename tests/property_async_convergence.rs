@@ -2,7 +2,7 @@
 //! problems, the asynchronous runtimes must converge to the same fixed point
 //! as the sequential reference, and the simulator must stay deterministic.
 
-use aiac::core::config::RunConfig;
+use aiac::core::config::{RunConfig, StealPolicy};
 use aiac::core::depgraph::DependencyGraph;
 use aiac::core::kernel::{BlockUpdate, DependencyView, IterativeKernel};
 use aiac::core::runtime::sequential::SequentialRuntime;
@@ -112,6 +112,70 @@ impl IterativeKernel for RandomRing {
     }
 }
 
+/// [`RandomRing`] with a deterministic, seeded pause schedule injected into
+/// every update: each (block, local-call) pair draws from splitmix64 whether
+/// the update stalls and for how long. This emulates the paper's
+/// heterogeneous processors — some blocks compute slower in some iterations —
+/// and drives the worker pool through interleavings a uniform-cost kernel
+/// never exercises (stalled owners whose deques must be stolen from, late
+/// publishes racing the convergence detector, parked thieves woken by a
+/// slow block's requeue).
+struct PausedRing {
+    inner: RandomRing,
+    schedule_seed: u64,
+    calls: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl PausedRing {
+    fn new(blocks: usize, weight_seed: u64, schedule_seed: u64) -> Self {
+        Self {
+            inner: RandomRing::new(blocks, weight_seed),
+            schedule_seed,
+            calls: (0..blocks)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    fn pause(&self, block: usize) {
+        let call = self.calls[block].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut state = self
+            .schedule_seed
+            .wrapping_add((block as u64) << 32)
+            .wrapping_add(call);
+        let draw = splitmix64(&mut state);
+        // Stall roughly a quarter of the updates for a few microseconds; the
+        // rest run at full speed, so the schedule is heterogeneous rather
+        // than uniformly slow and the tests stay fast.
+        if draw.is_multiple_of(4) {
+            std::thread::sleep(std::time::Duration::from_micros(1 + draw % 20));
+        }
+    }
+}
+
+impl IterativeKernel for PausedRing {
+    fn num_blocks(&self) -> usize {
+        self.inner.num_blocks()
+    }
+
+    fn block_len(&self, block: usize) -> usize {
+        self.inner.block_len(block)
+    }
+
+    fn initial_block(&self, block: usize) -> Vec<f64> {
+        self.inner.initial_block(block)
+    }
+
+    fn dependencies(&self, block: usize) -> Vec<usize> {
+        self.inner.dependencies(block)
+    }
+
+    fn update_block(&self, block: usize, local: &[f64], others: &DependencyView) -> BlockUpdate {
+        self.pause(block);
+        self.inner.update_block(block, local, others)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -182,6 +246,81 @@ proptest! {
             report.peak_mailbox_occupancy,
             edges
         );
+    }
+
+    /// Under a seeded pause schedule the stealing pool loses no blocks: every
+    /// block iterates at least once, the run still reaches the sequential
+    /// fixed point, and in-flight data stays O(edges). Exercised with the
+    /// locality bias both on and off, so a biased push can never strand a
+    /// block on a stalled worker's deque.
+    #[test]
+    fn prop_stealing_pool_loses_no_blocks_under_pause_schedules(
+        blocks in 1usize..13,
+        workers in 1usize..5,
+        seed in 0u64..1_000,
+        schedule in 0u64..1_000,
+    ) {
+        let reference = SequentialRuntime::new()
+            .run(&RandomRing::new(blocks, seed), &RunConfig::synchronous(1e-12));
+        prop_assert!(reference.converged);
+
+        for locality_bias in [true, false] {
+            let kernel = PausedRing::new(blocks, seed, schedule);
+            let config = RunConfig::asynchronous(1e-10)
+                .with_streak(4)
+                .with_num_workers(workers)
+                .with_steal_policy(StealPolicy::WorkStealing)
+                .with_locality_bias(locality_bias);
+            let report = ThreadedRuntime::new().run(&kernel, &config);
+            prop_assert!(
+                report.converged,
+                "bias {}: {} blocks / {} workers", locality_bias, blocks, workers
+            );
+            prop_assert_eq!(report.iterations.len(), blocks);
+            for (block, &iters) in report.iterations.iter().enumerate() {
+                prop_assert!(
+                    iters > 0,
+                    "block {} never ran (bias {})", block, locality_bias
+                );
+            }
+            for (a, b) in report.solution.iter().zip(&reference.solution) {
+                prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+            }
+            let edges = DependencyGraph::from_kernel(&kernel).num_edges() as u64;
+            prop_assert!(
+                report.peak_mailbox_occupancy <= edges,
+                "peak occupancy {} exceeded the edge count {}",
+                report.peak_mailbox_occupancy,
+                edges
+            );
+        }
+    }
+
+    /// The synchronous mode is a barrier-separated Jacobi sweep, so a pause
+    /// schedule may change *when* blocks compute but never *what* they
+    /// compute: for every pool size the iterates stay bit-identical to the
+    /// sequential sweep and the scheduler counters stay structural zeros.
+    #[test]
+    fn prop_sync_pool_is_bit_identical_to_sequential_under_pauses(
+        blocks in 1usize..10,
+        seed in 0u64..1_000,
+        schedule in 0u64..1_000,
+    ) {
+        let config = RunConfig::synchronous(1e-10);
+        let reference = SequentialRuntime::new().run(&RandomRing::new(blocks, seed), &config);
+        prop_assert!(reference.converged);
+
+        for workers in 1usize..=4 {
+            let kernel = PausedRing::new(blocks, seed, schedule);
+            let report = ThreadedRuntime::new()
+                .run(&kernel, &config.clone().with_num_workers(workers));
+            prop_assert!(report.converged, "{} workers", workers);
+            prop_assert_eq!(&report.solution, &reference.solution, "{} workers", workers);
+            prop_assert_eq!(report.steals, 0);
+            prop_assert_eq!(report.failed_steal_attempts, 0);
+            prop_assert_eq!(report.local_pushes, 0);
+            prop_assert_eq!(report.queue_wait_events, 0);
+        }
     }
 
     /// Simulated execution time shrinks (or at least does not grow) when the
