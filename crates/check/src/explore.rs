@@ -1,0 +1,967 @@
+//! The DFS interleaving explorer: controlled threads, schedule replay,
+//! bounded preemptions, and state-hash pruning.
+//!
+//! Exploration is *stateless* in the loom sense: an execution runs the test
+//! closure on real OS threads from start to finish, the driver recording a
+//! choice point wherever more than one thread was runnable. Backtracking
+//! re-runs the closure from scratch, replaying the recorded prefix and
+//! diverging at the deepest choice point with an unexplored alternative.
+//! Only one controlled thread is ever runnable at a time, so every execution
+//! is a deterministic function of its schedule.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A failed execution: (thread id, panic payload, op-log diagnostics,
+/// recorded schedule).
+type Failure = (usize, Box<dyn std::any::Any + Send>, String, Vec<usize>);
+
+// ---------------------------------------------------------------------------
+// Public configuration & report
+// ---------------------------------------------------------------------------
+
+/// Exploration bounds. All bounds are *checked*: exceeding `max_executions`
+/// or `max_ops` panics rather than silently truncating the search, so a
+/// green harness really did explore every schedule within the preemption
+/// bound.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum context switches per execution at points where the previous
+    /// thread was still runnable (CHESS-style preemption bounding). Forced
+    /// switches (previous thread blocked or finished) are free.
+    pub max_preemptions: usize,
+    /// Hard cap on scheduling points in a single execution; tripping it
+    /// means the code under test spins without bound and is reported as a
+    /// livelock rather than hanging the checker.
+    pub max_ops: u64,
+    /// Hard cap on the number of executions explored.
+    pub max_executions: u64,
+    /// Maximum number of controlled threads alive at once.
+    pub max_threads: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_preemptions: 2,
+            max_ops: 20_000,
+            max_executions: 400_000,
+            max_threads: 4,
+        }
+    }
+}
+
+/// Statistics from a completed exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Executions (complete schedules) run.
+    pub executions: u64,
+    /// Scheduling points visited, summed over all executions.
+    pub states: u64,
+    /// Distinct abstract states observed at branch points (state-hash set).
+    pub distinct_states: u64,
+    /// Branches skipped because their `(state, choice)` pair was already
+    /// explored at an equal-or-lower preemption spend.
+    pub pruned: u64,
+    /// Branches skipped by the preemption bound.
+    pub preemption_bounded: u64,
+    /// True when the DFS stack emptied, i.e. every schedule within the
+    /// bounds was explored (as opposed to stopping on `max_executions`).
+    pub complete: bool,
+}
+
+impl fmt::Display for ExploreReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} executions, {} states ({} distinct), {} pruned, {} preemption-bounded, complete={}",
+            self.executions,
+            self.states,
+            self.distinct_states,
+            self.pruned,
+            self.preemption_bounded,
+            self.complete
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread context (how instrumented atomics find the active execution)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) id: usize,
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Panic payload used to unwind controlled threads when the execution is
+/// aborted (another thread failed, or the driver is shutting down). The
+/// thread wrapper swallows it; it never escapes to the user.
+pub(crate) struct ExecutionAborted;
+
+// ---------------------------------------------------------------------------
+// Operations, cells, threads
+// ---------------------------------------------------------------------------
+
+/// Operation kinds, for the log and the per-thread history chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    Begin,
+    Load,
+    Store,
+    Swap,
+    Cas,
+    CasOk,
+    CasFail,
+    FetchAdd,
+    FetchSub,
+    FetchMax,
+    Fence,
+    Yield,
+    Join,
+    Finish,
+}
+
+/// Encode an `Ordering` for hashing/logging (the engine never needs to
+/// decode it back).
+pub(crate) fn ord_code(o: StdOrdering) -> u64 {
+    match o {
+        StdOrdering::Relaxed => 1,
+        StdOrdering::Release => 2,
+        StdOrdering::Acquire => 3,
+        StdOrdering::AcqRel => 4,
+        StdOrdering::SeqCst => 5,
+        _ => 6,
+    }
+}
+
+pub(crate) fn is_release(o: StdOrdering) -> bool {
+    matches!(
+        o,
+        StdOrdering::Release | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+pub(crate) fn is_acquire(o: StdOrdering) -> bool {
+    matches!(
+        o,
+        StdOrdering::Acquire | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+/// What a pending (parked) thread is about to do — drives enabled-ness and
+/// the operation log.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Pending {
+    /// About to start running its closure.
+    Begin,
+    /// About to perform an instrumented atomic op or fence.
+    Op(OpKind),
+    /// Waiting for a child thread to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Spawned but not yet parked at its first scheduling point.
+    Launching,
+    /// Parked at a scheduling point, waiting to be picked.
+    Parked,
+    /// Picked by the driver; executing its pending operation + user code up
+    /// to the next scheduling point.
+    Running,
+    /// Closure returned (or unwound); will never run again.
+    Finished,
+}
+
+struct ThreadRec {
+    status: Status,
+    pending: Option<Pending>,
+    /// Fold of `(cell, kind, ordering, observed bits)` for every operation
+    /// this thread has executed. Two threads at the same chain value have
+    /// observed identical histories and — because controlled code is
+    /// deterministic between scheduling points — hold identical locals.
+    chain: u64,
+    /// Sticky flag set by a Release/AcqRel/SeqCst fence: the next relaxed
+    /// pointer store still publishes correctly (fence + relaxed store is a
+    /// valid release sequence head).
+    release_fence: bool,
+}
+
+impl ThreadRec {
+    fn new() -> Self {
+        ThreadRec {
+            status: Status::Launching,
+            pending: None,
+            chain: 0x9e37_79b9_7f4a_7c15,
+            release_fence: false,
+        }
+    }
+}
+
+/// Shadow state for one instrumented atomic cell.
+struct CellShadow {
+    /// Last written value, as raw bits (pointer address for `AtomicPtr`).
+    value: u64,
+    /// For pointer cells: who wrote the current non-null value and whether
+    /// the write had release semantics (directly or via a sticky fence).
+    ptr_tag: Option<(usize, bool)>,
+    is_ptr: bool,
+    /// Set by `get_mut` (exclusive access mutates the value invisibly);
+    /// opaque cells are excluded from the state hash.
+    opaque: bool,
+}
+
+/// One entry in the per-execution operation log (diagnostics only).
+#[derive(Clone, Copy)]
+struct OpEvent {
+    thread: usize,
+    cell: usize,
+    kind: OpKind,
+    ord: u64,
+    read: Option<u64>,
+    wrote: Option<u64>,
+}
+
+impl fmt::Debug for OpEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t{} {:?} c{} ord={}",
+            self.thread, self.kind, self.cell, self.ord
+        )?;
+        if let Some(r) = self.read {
+            write!(f, " read={r:#x}")?;
+        }
+        if let Some(w) = self.wrote {
+            write!(f, " wrote={w:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Bits observed / written by one atomic operation, for shadow updates.
+pub(crate) struct OpBits {
+    pub(crate) read: Option<u64>,
+    pub(crate) written: Option<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Execution state shared between the driver and controlled threads
+// ---------------------------------------------------------------------------
+
+/// Globally unique execution ids, so a `CellHandle` embedded in a
+/// long-lived atomic re-registers itself on each execution (and two models
+/// running concurrently in different test threads never collide).
+static EXEC_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+const LOG_CAP: usize = 4096;
+
+pub(crate) struct Inner {
+    epoch: u64,
+    /// Which thread the driver has released to run (consumed by that
+    /// thread's wake-up).
+    active: Option<usize>,
+    threads: Vec<ThreadRec>,
+    cells: Vec<CellShadow>,
+    /// First failure in this execution: (thread id, panic payload).
+    failure: Option<(usize, Box<dyn std::any::Any + Send>)>,
+    /// When set, parked threads unwind with `ExecutionAborted` instead of
+    /// running.
+    abort: bool,
+    ops: u64,
+    op_log: Vec<OpEvent>,
+    schedule: Vec<usize>,
+    max_threads: usize,
+    /// OS handles for threads spawned *inside* the execution (via
+    /// `thread::spawn`); the driver joins them after the execution ends.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Exec {
+    inner: Mutex<Inner>,
+    /// Signalled by threads when they park or finish.
+    to_driver: Condvar,
+    /// Signalled by the driver when it releases a thread (and broadcast on
+    /// abort).
+    to_threads: Condvar,
+}
+
+impl Exec {
+    fn new(max_threads: usize) -> Self {
+        Exec {
+            inner: Mutex::new(Inner {
+                epoch: EXEC_EPOCH.fetch_add(1, StdOrdering::Relaxed),
+                active: None,
+                threads: Vec::new(),
+                cells: Vec::new(),
+                failure: None,
+                abort: false,
+                ops: 0,
+                op_log: Vec::new(),
+                schedule: Vec::new(),
+                max_threads,
+                os_handles: Vec::new(),
+            }),
+            to_driver: Condvar::new(),
+            to_threads: Condvar::new(),
+        }
+    }
+
+    /// Thread side: park at a scheduling point, wait until the driver picks
+    /// this thread, then run `op` under the execution lock and continue.
+    /// `op` returning `Err` reports a checker-detected violation (it panics
+    /// with the message, which the wrapper routes to the driver).
+    pub(crate) fn yield_and_run<R>(
+        &self,
+        me: usize,
+        pending: Pending,
+        op: impl FnOnce(&mut Inner, usize) -> Result<R, String>,
+    ) -> R {
+        let mut inner = self.inner.lock().unwrap();
+        inner.threads[me].status = Status::Parked;
+        inner.threads[me].pending = Some(pending);
+        self.to_driver.notify_one();
+        loop {
+            if inner.abort {
+                drop(inner);
+                panic::panic_any(ExecutionAborted);
+            }
+            if inner.active == Some(me) {
+                break;
+            }
+            inner = self.to_threads.wait(inner).unwrap();
+        }
+        inner.active = None;
+        inner.threads[me].status = Status::Running;
+        inner.threads[me].pending = None;
+        inner.schedule.push(me);
+        inner.ops += 1;
+        match op(&mut inner, me) {
+            Ok(r) => r,
+            Err(msg) => {
+                drop(inner);
+                panic!("{msg}");
+            }
+        }
+    }
+
+    pub(crate) fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap()
+    }
+
+    pub(crate) fn inner_register_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.inner.lock().unwrap().register_handle(handle);
+    }
+
+    fn finish_thread(&self, me: usize, failure: Option<Box<dyn std::any::Any + Send>>) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(payload) = failure {
+            if inner.failure.is_none() {
+                inner.failure = Some((me, payload));
+            }
+        }
+        let chain = inner.threads[me].chain;
+        inner.threads[me].chain = mix(chain, OpKind::Finish as u64);
+        inner.threads[me].status = Status::Finished;
+        inner.threads[me].pending = None;
+        self.to_driver.notify_one();
+    }
+}
+
+impl Inner {
+    pub(crate) fn register_cell(&mut self, is_ptr: bool, initial: u64) -> usize {
+        let id = self.cells.len();
+        self.cells.push(CellShadow {
+            value: initial,
+            ptr_tag: None,
+            is_ptr,
+            opaque: false,
+        });
+        id
+    }
+
+    /// Apply one atomic operation's effects to the shadow state: visibility
+    /// checking for pointer cells, shadow value update, history-chain fold,
+    /// and the op log.
+    pub(crate) fn apply_op(
+        &mut self,
+        me: usize,
+        cell: usize,
+        kind: OpKind,
+        ord_read: Option<StdOrdering>,
+        ord_write: Option<StdOrdering>,
+        bits: OpBits,
+    ) -> Result<(), String> {
+        // Visibility rule (pointer cells only): reading a non-null pointer
+        // that another thread wrote requires the write to have had release
+        // semantics and this read to have acquire semantics; otherwise the
+        // pointee's bytes may be stale on a weakly-ordered machine.
+        if self.cells[cell].is_ptr {
+            if let Some(read) = bits.read {
+                if read != 0 {
+                    if let Some((writer, released)) = self.cells[cell].ptr_tag {
+                        if writer != me {
+                            if !released {
+                                return Err(format!(
+                                    "visibility violation: thread {me} read pointer {read:#x} from cell c{cell} \
+                                     published by thread {writer} without Release ordering \
+                                     (the pointee may be torn on a weakly-ordered machine)"
+                                ));
+                            }
+                            let acquired = ord_read.map(is_acquire).unwrap_or(false);
+                            if !acquired {
+                                return Err(format!(
+                                    "visibility violation: thread {me} read cross-thread pointer {read:#x} \
+                                     from cell c{cell} without Acquire ordering \
+                                     (the pointee may be torn on a weakly-ordered machine)"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(written) = bits.written {
+                if written == 0 {
+                    self.cells[cell].ptr_tag = None;
+                } else {
+                    let released = ord_write.map(is_release).unwrap_or(false)
+                        || self.threads[me].release_fence;
+                    self.cells[cell].ptr_tag = Some((me, released));
+                }
+            }
+        }
+        if let Some(written) = bits.written {
+            self.cells[cell].value = written;
+        }
+        let ord = ord_read.or(ord_write).map(ord_code).unwrap_or(0);
+        let chain = self.threads[me].chain;
+        let folded = mix(
+            mix(mix(chain, cell as u64), (kind as u64) << 8 | ord),
+            bits.read.unwrap_or(0).wrapping_add(1),
+        );
+        self.threads[me].chain = mix(folded, bits.written.unwrap_or(0).wrapping_add(1));
+        if self.op_log.len() < LOG_CAP {
+            self.op_log.push(OpEvent {
+                thread: me,
+                cell,
+                kind,
+                ord,
+                read: bits.read,
+                wrote: bits.written,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn note_fence(&mut self, me: usize, ord: StdOrdering) {
+        if is_release(ord) {
+            self.threads[me].release_fence = true;
+        }
+        let chain = self.threads[me].chain;
+        self.threads[me].chain = mix(chain, (OpKind::Fence as u64) << 8 | ord_code(ord));
+        if self.op_log.len() < LOG_CAP {
+            self.op_log.push(OpEvent {
+                thread: me,
+                cell: usize::MAX,
+                kind: OpKind::Fence,
+                ord: ord_code(ord),
+                read: None,
+                wrote: None,
+            });
+        }
+    }
+
+    /// Fold a pure scheduling event (yield, join) into the thread's
+    /// history chain so states before and after it hash differently.
+    pub(crate) fn note_marker(&mut self, me: usize, kind: OpKind) {
+        let chain = self.threads[me].chain;
+        self.threads[me].chain = mix(chain, kind as u64);
+    }
+
+    pub(crate) fn mark_opaque(&mut self, cell: usize) {
+        self.cells[cell].opaque = true;
+        self.cells[cell].ptr_tag = None;
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn register_handle(&mut self, handle: std::thread::JoinHandle<()>) {
+        self.os_handles.push(handle);
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (id, t) in self.threads.iter().enumerate() {
+            if t.status != Status::Parked {
+                continue;
+            }
+            let runnable = match t.pending {
+                Some(Pending::Join(child)) => self.threads[child].status == Status::Finished,
+                Some(_) => true,
+                None => false,
+            };
+            if runnable {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    fn quiescent(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Parked | Status::Finished))
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+
+    /// Hash the abstract state at a quiescent point. Per-thread chains stand
+    /// in for locals (deterministic function of read history), shadow cells
+    /// for shared memory, statuses + pending for control state.
+    fn state_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for t in &self.threads {
+            h = mix(h, t.chain);
+            let s = match t.status {
+                Status::Launching => 0u64,
+                Status::Parked => 1,
+                Status::Running => 2,
+                Status::Finished => 3,
+            };
+            let p = match t.pending {
+                None => 0u64,
+                Some(Pending::Begin) => 1,
+                Some(Pending::Op(k)) => 2 + k as u64,
+                Some(Pending::Join(c)) => 64 + c as u64,
+            };
+            h = mix(h, s << 32 | p | u64::from(t.release_fence) << 16);
+        }
+        for c in &self.cells {
+            if c.opaque {
+                h = mix(h, u64::MAX);
+            } else {
+                let tag = match c.ptr_tag {
+                    None => 0u64,
+                    Some((w, r)) => 1 + ((w as u64) << 1 | u64::from(r)),
+                };
+                h = mix(mix(h, c.value), tag);
+            }
+        }
+        h
+    }
+
+    fn dump_tail(&self) -> String {
+        let tail = 40usize;
+        let start = self.op_log.len().saturating_sub(tail);
+        let mut s = String::new();
+        for ev in &self.op_log[start..] {
+            s.push_str(&format!("  {ev:?}\n"));
+        }
+        s
+    }
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    // splitmix64 finalizer over a running fold.
+    let mut z = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Spawning controlled threads
+// ---------------------------------------------------------------------------
+
+pub(crate) struct SpawnedThread {
+    pub(crate) id: usize,
+    pub(crate) os: std::thread::JoinHandle<()>,
+}
+
+/// Launch a controlled thread. The wrapper installs the thread-local
+/// context, parks at a `Begin` scheduling point before running `f`, and
+/// routes panics (including checker violations) to the driver. `store`
+/// receives the closure's return value on success.
+pub(crate) fn launch<T, F>(
+    exec: &Arc<Exec>,
+    f: F,
+    store: impl FnOnce(T) + Send + 'static,
+) -> SpawnedThread
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let id = {
+        let mut inner = exec.inner.lock().unwrap();
+        assert!(
+            inner.threads.len() < inner.max_threads,
+            "model spawned more than max_threads ({}) controlled threads",
+            inner.max_threads
+        );
+        inner.threads.push(ThreadRec::new());
+        inner.threads.len() - 1
+    };
+    let exec2 = Arc::clone(exec);
+    let os = std::thread::Builder::new()
+        .name(format!("aiac-check-t{id}"))
+        .spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: Arc::clone(&exec2),
+                id,
+            }));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                exec2.yield_and_run(id, Pending::Begin, |inner, me| {
+                    let chain = inner.threads[me].chain;
+                    inner.threads[me].chain = mix(chain, OpKind::Begin as u64);
+                    Ok(())
+                });
+                f()
+            }));
+            set_ctx(None);
+            match result {
+                Ok(val) => {
+                    store(val);
+                    exec2.finish_thread(id, None);
+                }
+                Err(payload) => {
+                    if payload.is::<ExecutionAborted>() {
+                        exec2.finish_thread(id, None);
+                    } else {
+                        exec2.finish_thread(id, Some(payload));
+                    }
+                }
+            }
+        })
+        .expect("spawn controlled thread");
+    SpawnedThread { id, os }
+}
+
+pub(crate) fn join_pending(child: usize) -> Pending {
+    Pending::Join(child)
+}
+
+// ---------------------------------------------------------------------------
+// The DFS driver
+// ---------------------------------------------------------------------------
+
+/// One recorded branch point in the current schedule prefix.
+struct ChoicePoint {
+    /// Runnable threads at this point, ascending ids (deterministic).
+    enabled: Vec<usize>,
+    /// Index into `enabled` chosen on the current path.
+    chosen: usize,
+    /// Bitmask over `enabled` indices already taken (or ruled out) at this
+    /// point. The default choice is rarely index 0 — it prefers the
+    /// last-run thread — so backtracking must track tried choices
+    /// explicitly rather than scanning "indices after `chosen`".
+    tried: u64,
+    /// Thread that ran the previous operation, if any.
+    last_run: Option<usize>,
+    /// Preemptions spent before this point on the current path.
+    preemptions_before: usize,
+    /// Abstract state hash at this point.
+    hash: u64,
+}
+
+impl Builder {
+    /// Explore all interleavings of `f` within the configured bounds.
+    /// Panics (with schedule + op-log diagnostics) if any execution fails;
+    /// returns exploration statistics otherwise.
+    pub fn check<F>(&self, f: F) -> ExploreReport
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut stack: Vec<ChoicePoint> = Vec::new();
+        let mut seen: HashSet<(u64, usize, usize)> = HashSet::new();
+        let mut distinct: HashSet<u64> = HashSet::new();
+        let mut report = ExploreReport {
+            executions: 0,
+            states: 0,
+            distinct_states: 0,
+            pruned: 0,
+            preemption_bounded: 0,
+            complete: false,
+        };
+
+        loop {
+            report.executions += 1;
+            assert!(
+                report.executions <= self.max_executions,
+                "exploration exceeded max_executions={} — raise the bound or shrink the harness",
+                self.max_executions
+            );
+            self.run_one(&f, &mut stack, &mut seen, &mut distinct, &mut report);
+            // Backtrack: advance the deepest choice point with an unexplored,
+            // in-budget, un-pruned alternative; pop exhausted ones.
+            let mut advanced = false;
+            while let Some(cp) = stack.last_mut() {
+                let mut found = None;
+                for (idx, &t) in cp.enabled.iter().enumerate() {
+                    if cp.tried & (1 << idx) != 0 {
+                        continue;
+                    }
+                    cp.tried |= 1 << idx;
+                    let cost = preemption_cost(cp.last_run, t, &cp.enabled);
+                    if cp.preemptions_before + cost > self.max_preemptions {
+                        report.preemption_bounded += 1;
+                        continue;
+                    }
+                    if !seen.insert((cp.hash, cp.preemptions_before + cost, t)) {
+                        report.pruned += 1;
+                        continue;
+                    }
+                    found = Some(idx);
+                    break;
+                }
+                if let Some(idx) = found {
+                    cp.chosen = idx;
+                    advanced = true;
+                    break;
+                }
+                stack.pop();
+            }
+            if !advanced {
+                report.complete = true;
+                break;
+            }
+        }
+        report.distinct_states = distinct.len() as u64;
+        report
+    }
+
+    /// Run a single execution, replaying `stack[..]` choices and extending
+    /// the stack at fresh branch points.
+    fn run_one<F>(
+        &self,
+        f: &Arc<F>,
+        stack: &mut Vec<ChoicePoint>,
+        seen: &mut HashSet<(u64, usize, usize)>,
+        distinct: &mut HashSet<u64>,
+        report: &mut ExploreReport,
+    ) where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let exec = Arc::new(Exec::new(self.max_threads));
+        let mut os_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        {
+            let froot = Arc::clone(f);
+            let root = launch(&exec, move || froot(), |()| {});
+            os_handles.push(root.os);
+        }
+
+        let mut last_run: Option<usize> = None;
+        let mut preemptions = 0usize;
+        let mut depth = 0usize; // index over branch points on this path
+
+        let failure: Option<Failure> = loop {
+            // Wait for quiescence: every controlled thread parked or done.
+            let mut inner = exec.inner.lock().unwrap();
+            while !(inner.quiescent() && inner.active.is_none()) {
+                inner = exec.to_driver.wait(inner).unwrap();
+            }
+            // Collect any thread newly spawned inside the execution so we
+            // can join its OS thread at the end.
+            if let Some((tid, payload)) = inner.failure.take() {
+                let diag = inner.dump_tail();
+                let sched = inner.schedule.clone();
+                inner.abort = true;
+                exec.to_threads.notify_all();
+                while !inner.all_finished() {
+                    inner = exec.to_driver.wait(inner).unwrap();
+                }
+                break Some((tid, payload, diag, sched));
+            }
+            if inner.ops > self.max_ops {
+                let diag = inner.dump_tail();
+                let sched = inner.schedule.clone();
+                inner.abort = true;
+                exec.to_threads.notify_all();
+                while !inner.all_finished() {
+                    inner = exec.to_driver.wait(inner).unwrap();
+                }
+                drop(inner);
+                drain_os_threads(&exec, &mut os_handles);
+                panic!(
+                    "model execution exceeded max_ops={} — likely an unbounded spin/livelock in the code under test\nschedule: {:?}\nop log tail:\n{}",
+                    self.max_ops, sched, diag
+                );
+            }
+            if inner.all_finished() {
+                break None;
+            }
+            let enabled = inner.enabled();
+            if enabled.is_empty() {
+                let diag = inner.dump_tail();
+                let sched = inner.schedule.clone();
+                let stuck: Vec<usize> = inner
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, _)| i)
+                    .collect();
+                inner.abort = true;
+                exec.to_threads.notify_all();
+                while !inner.all_finished() {
+                    inner = exec.to_driver.wait(inner).unwrap();
+                }
+                drop(inner);
+                drain_os_threads(&exec, &mut os_handles);
+                panic!(
+                    "deadlock: threads {stuck:?} blocked with no runnable thread\nschedule: {sched:?}\nop log tail:\n{diag}"
+                );
+            }
+
+            report.states += 1;
+            let chosen = if enabled.len() == 1 {
+                enabled[0]
+            } else {
+                let hash = inner.state_hash();
+                distinct.insert(hash);
+                if depth < stack.len() {
+                    // Replay: the recorded prefix must reproduce exactly.
+                    let cp = &stack[depth];
+                    assert_eq!(
+                        cp.enabled, enabled,
+                        "non-deterministic replay: enabled set diverged at depth {depth} — the model closure must be deterministic given a schedule"
+                    );
+                    depth += 1;
+                    cp.enabled[cp.chosen]
+                } else {
+                    // Fresh branch point: prefer continuing the last thread
+                    // (zero preemption cost), else the lowest id, skipping
+                    // already-seen (state, choice) pairs when possible.
+                    let mut order: Vec<usize> = enabled.clone();
+                    if let Some(l) = last_run {
+                        if let Some(pos) = order.iter().position(|&t| t == l) {
+                            order.remove(pos);
+                            order.insert(0, l);
+                        }
+                    }
+                    let mut picked = None;
+                    for &t in &order {
+                        let cost = preemption_cost(last_run, t, &enabled);
+                        if preemptions + cost > self.max_preemptions {
+                            continue;
+                        }
+                        if seen.contains(&(hash, preemptions + cost, t)) {
+                            continue;
+                        }
+                        picked = Some((t, true));
+                        break;
+                    }
+                    let (t, fresh) = picked.unwrap_or_else(|| {
+                        // Every in-budget choice already explored from this
+                        // state: continue along the cheapest path without
+                        // recording a branch (its alternatives are covered).
+                        report.pruned += 1;
+                        let t = order
+                            .iter()
+                            .copied()
+                            .find(|&t| {
+                                preemptions + preemption_cost(last_run, t, &enabled)
+                                    <= self.max_preemptions
+                            })
+                            .unwrap_or(order[0]);
+                        (t, false)
+                    });
+                    if fresh {
+                        let chosen_idx = enabled.iter().position(|&x| x == t).unwrap();
+                        seen.insert((
+                            hash,
+                            preemptions + preemption_cost(last_run, t, &enabled),
+                            t,
+                        ));
+                        stack.push(ChoicePoint {
+                            enabled: enabled.clone(),
+                            chosen: chosen_idx,
+                            tried: 1 << chosen_idx,
+                            last_run,
+                            preemptions_before: preemptions,
+                            hash,
+                        });
+                        depth += 1;
+                    }
+                    t
+                }
+            };
+            preemptions += preemption_cost(last_run, chosen, &enabled);
+            last_run = Some(chosen);
+            inner.active = Some(chosen);
+            exec.to_threads.notify_all();
+            drop(inner);
+        };
+
+        drain_os_threads(&exec, &mut os_handles);
+
+        if let Some((tid, payload, diag, sched)) = failure {
+            // Truncate the DFS stack to this path's branch points so a
+            // subsequent catch_unwind + resume does not corrupt exploration
+            // state (normally the panic below terminates the test anyway).
+            stack.truncate(depth);
+            let msg = payload_message(payload.as_ref());
+            panic!(
+                "model checking failed (thread {tid}): {msg}\nschedule ({} ops): {:?}\nop log tail:\n{}",
+                sched.len(),
+                sched,
+                diag
+            );
+        }
+    }
+}
+
+/// A switch costs one preemption when the previously-running thread was
+/// still runnable (i.e. the switch was not forced).
+fn preemption_cost(last_run: Option<usize>, chosen: usize, enabled: &[usize]) -> usize {
+    match last_run {
+        Some(l) if l != chosen && enabled.contains(&l) => 1,
+        _ => 0,
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Join every OS thread spawned during the execution. `thread::spawn`
+/// registers its handles in `Inner::os_handles`; the root handle is passed
+/// in directly.
+fn drain_os_threads(exec: &Arc<Exec>, handles: &mut Vec<std::thread::JoinHandle<()>>) {
+    let extra = {
+        let mut inner = exec.inner.lock().unwrap();
+        std::mem::take(&mut inner.os_handles)
+    };
+    handles.extend(extra);
+    for h in handles.drain(..) {
+        let _ = h.join();
+    }
+}

@@ -1,0 +1,616 @@
+//! Instrumented drop-in replacements for `std::sync::atomic`.
+//!
+//! Each type wraps the real `std` atomic (operations really execute, so the
+//! code under test computes real values) and, when running inside a model
+//! execution, turns every operation into a scheduling point: the thread
+//! parks, the driver picks who runs next, and the operation's effects are
+//! mirrored into the explorer's shadow state (value bits, pointer release
+//! tags, per-thread history chains). Outside a model — including normal
+//! test binaries that merely link a `--cfg aiac_check` build of the code
+//! under test — every operation falls through to the raw `std` atomic with
+//! no scheduling, so semantics are unchanged.
+
+use crate::explore::{self, OpBits, OpKind, Pending};
+use std::sync::atomic::Ordering as StdOrdering;
+
+/// Instrumented atomics and fences; mirrors `std::sync::atomic`.
+pub mod atomic {
+    use super::*;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// Lazily-registered shadow-cell identity: packs `(execution epoch,
+    /// cell id)` so a long-lived atomic re-registers itself on each
+    /// execution. Only touched while the owning thread holds the explorer
+    /// lock (or outside any model), so `Relaxed` is sufficient.
+    struct CellHandle {
+        packed: std::sync::atomic::AtomicU64,
+    }
+
+    impl CellHandle {
+        const fn new() -> Self {
+            CellHandle {
+                packed: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+
+        fn resolve(&self, inner: &mut explore::Inner, is_ptr: bool, current_bits: u64) -> usize {
+            let epoch = inner.epoch() & 0xffff_ffff;
+            let cur = self.packed.load(StdOrdering::Relaxed);
+            if cur >> 32 == epoch {
+                return (cur & 0xffff_ffff) as usize;
+            }
+            let id = inner.register_cell(is_ptr, current_bits);
+            self.packed
+                .store(epoch << 32 | id as u64, StdOrdering::Relaxed);
+            id
+        }
+    }
+
+    /// Run one atomic operation: as a scheduling point inside a model, or
+    /// raw outside one.
+    fn run_op<R>(
+        handle: &CellHandle,
+        is_ptr: bool,
+        kind: OpKind,
+        ord_read: Option<Ordering>,
+        ord_write: Option<Ordering>,
+        current_bits: impl Fn() -> u64,
+        raw_op: impl FnOnce() -> (R, OpBits, OpKind),
+    ) -> R {
+        match explore::current() {
+            None => raw_op().0,
+            Some(ctx) => ctx
+                .exec
+                .yield_and_run(ctx.id, Pending::Op(kind), move |inner, me| {
+                    let cell = handle.resolve(inner, is_ptr, current_bits());
+                    let (r, bits, actual_kind) = raw_op();
+                    // CAS refines read/write orderings after the fact: failure
+                    // is a pure load at the failure ordering.
+                    let (orr, orw) = if actual_kind == OpKind::CasFail {
+                        (ord_write, None)
+                    } else {
+                        (ord_read, ord_write)
+                    };
+                    inner
+                        .apply_op(me, cell, actual_kind, orr, orw, bits)
+                        .map(|()| r)
+                }),
+        }
+    }
+
+    /// Mark a cell opaque (exclusive `get_mut` access mutates it outside
+    /// the instrumented path).
+    fn run_opaque(handle: &CellHandle, is_ptr: bool, current_bits: u64) {
+        if let Some(ctx) = explore::current() {
+            let mut inner = ctx.exec.lock_inner();
+            let cell = handle.resolve(&mut inner, is_ptr, current_bits);
+            inner.mark_opaque(cell);
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($(#[$meta:meta])* $Name:ident, $T:ty) => {
+            $(#[$meta])*
+            pub struct $Name {
+                raw: std::sync::atomic::$Name,
+                cell: CellHandle,
+            }
+
+            impl $Name {
+                /// Create a new atomic with the given initial value.
+                pub const fn new(v: $T) -> Self {
+                    $Name { raw: std::sync::atomic::$Name::new(v), cell: CellHandle::new() }
+                }
+
+                /// Atomic load; a scheduling point under the model.
+                pub fn load(&self, ord: Ordering) -> $T {
+                    run_op(
+                        &self.cell,
+                        false,
+                        OpKind::Load,
+                        Some(ord),
+                        None,
+                        || self.raw.load(Ordering::SeqCst) as u64,
+                        || {
+                            let v = self.raw.load(ord);
+                            (v, OpBits { read: Some(v as u64), written: None }, OpKind::Load)
+                        },
+                    )
+                }
+
+                /// Atomic store; a scheduling point under the model.
+                pub fn store(&self, v: $T, ord: Ordering) {
+                    run_op(
+                        &self.cell,
+                        false,
+                        OpKind::Store,
+                        None,
+                        Some(ord),
+                        || self.raw.load(Ordering::SeqCst) as u64,
+                        || {
+                            self.raw.store(v, ord);
+                            ((), OpBits { read: None, written: Some(v as u64) }, OpKind::Store)
+                        },
+                    )
+                }
+
+                /// Atomic swap; a scheduling point under the model.
+                pub fn swap(&self, v: $T, ord: Ordering) -> $T {
+                    run_op(
+                        &self.cell,
+                        false,
+                        OpKind::Swap,
+                        Some(ord),
+                        Some(ord),
+                        || self.raw.load(Ordering::SeqCst) as u64,
+                        || {
+                            let old = self.raw.swap(v, ord);
+                            (old, OpBits { read: Some(old as u64), written: Some(v as u64) }, OpKind::Swap)
+                        },
+                    )
+                }
+
+                /// Atomic compare-and-exchange; a scheduling point under the
+                /// model.
+                pub fn compare_exchange(
+                    &self,
+                    current: $T,
+                    new: $T,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$T, $T> {
+                    run_op(
+                        &self.cell,
+                        false,
+                        OpKind::Cas,
+                        Some(success),
+                        Some(failure),
+                        || self.raw.load(Ordering::SeqCst) as u64,
+                        || match self.raw.compare_exchange(current, new, success, failure) {
+                            Ok(old) => (
+                                Ok(old),
+                                OpBits { read: Some(old as u64), written: Some(new as u64) },
+                                OpKind::CasOk,
+                            ),
+                            Err(old) => (
+                                Err(old),
+                                OpBits { read: Some(old as u64), written: None },
+                                OpKind::CasFail,
+                            ),
+                        },
+                    )
+                }
+
+                /// Atomic add, returning the previous value; a scheduling
+                /// point under the model.
+                pub fn fetch_add(&self, v: $T, ord: Ordering) -> $T {
+                    run_op(
+                        &self.cell,
+                        false,
+                        OpKind::FetchAdd,
+                        Some(ord),
+                        Some(ord),
+                        || self.raw.load(Ordering::SeqCst) as u64,
+                        || {
+                            let old = self.raw.fetch_add(v, ord);
+                            (
+                                old,
+                                OpBits { read: Some(old as u64), written: Some(old.wrapping_add(v) as u64) },
+                                OpKind::FetchAdd,
+                            )
+                        },
+                    )
+                }
+
+                /// Atomic subtract, returning the previous value; a
+                /// scheduling point under the model.
+                pub fn fetch_sub(&self, v: $T, ord: Ordering) -> $T {
+                    run_op(
+                        &self.cell,
+                        false,
+                        OpKind::FetchSub,
+                        Some(ord),
+                        Some(ord),
+                        || self.raw.load(Ordering::SeqCst) as u64,
+                        || {
+                            let old = self.raw.fetch_sub(v, ord);
+                            (
+                                old,
+                                OpBits { read: Some(old as u64), written: Some(old.wrapping_sub(v) as u64) },
+                                OpKind::FetchSub,
+                            )
+                        },
+                    )
+                }
+
+                /// Atomic max, returning the previous value; a scheduling
+                /// point under the model.
+                pub fn fetch_max(&self, v: $T, ord: Ordering) -> $T {
+                    run_op(
+                        &self.cell,
+                        false,
+                        OpKind::FetchMax,
+                        Some(ord),
+                        Some(ord),
+                        || self.raw.load(Ordering::SeqCst) as u64,
+                        || {
+                            let old = self.raw.fetch_max(v, ord);
+                            (
+                                old,
+                                OpBits { read: Some(old as u64), written: Some(old.max(v) as u64) },
+                                OpKind::FetchMax,
+                            )
+                        },
+                    )
+                }
+
+                /// Exclusive access to the value. Marks the shadow cell
+                /// opaque under the model (subsequent mutation through the
+                /// reference is invisible to the explorer's state hash).
+                pub fn get_mut(&mut self) -> &mut $T {
+                    run_opaque(&self.cell, false, self.raw.load(Ordering::SeqCst) as u64);
+                    self.raw.get_mut()
+                }
+
+                /// Consume the atomic and return its value.
+                pub fn into_inner(self) -> $T {
+                    self.raw.into_inner()
+                }
+            }
+
+            impl std::fmt::Debug for $Name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    std::fmt::Debug::fmt(&self.raw, f)
+                }
+            }
+
+            impl Default for $Name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Instrumented `AtomicUsize`.
+        AtomicUsize,
+        usize
+    );
+    int_atomic!(
+        /// Instrumented `AtomicIsize`.
+        AtomicIsize,
+        isize
+    );
+    int_atomic!(
+        /// Instrumented `AtomicU64`.
+        AtomicU64,
+        u64
+    );
+    int_atomic!(
+        /// Instrumented `AtomicI64`.
+        AtomicI64,
+        i64
+    );
+
+    /// Instrumented `AtomicBool`.
+    pub struct AtomicBool {
+        raw: std::sync::atomic::AtomicBool,
+        cell: CellHandle,
+    }
+
+    impl AtomicBool {
+        /// Create a new atomic flag with the given initial value.
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                raw: std::sync::atomic::AtomicBool::new(v),
+                cell: CellHandle::new(),
+            }
+        }
+
+        /// Atomic load; a scheduling point under the model.
+        pub fn load(&self, ord: Ordering) -> bool {
+            run_op(
+                &self.cell,
+                false,
+                OpKind::Load,
+                Some(ord),
+                None,
+                || u64::from(self.raw.load(Ordering::SeqCst)),
+                || {
+                    let v = self.raw.load(ord);
+                    (
+                        v,
+                        OpBits {
+                            read: Some(u64::from(v)),
+                            written: None,
+                        },
+                        OpKind::Load,
+                    )
+                },
+            )
+        }
+
+        /// Atomic store; a scheduling point under the model.
+        pub fn store(&self, v: bool, ord: Ordering) {
+            run_op(
+                &self.cell,
+                false,
+                OpKind::Store,
+                None,
+                Some(ord),
+                || u64::from(self.raw.load(Ordering::SeqCst)),
+                || {
+                    self.raw.store(v, ord);
+                    (
+                        (),
+                        OpBits {
+                            read: None,
+                            written: Some(u64::from(v)),
+                        },
+                        OpKind::Store,
+                    )
+                },
+            )
+        }
+
+        /// Atomic swap; a scheduling point under the model.
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            run_op(
+                &self.cell,
+                false,
+                OpKind::Swap,
+                Some(ord),
+                Some(ord),
+                || u64::from(self.raw.load(Ordering::SeqCst)),
+                || {
+                    let old = self.raw.swap(v, ord);
+                    (
+                        old,
+                        OpBits {
+                            read: Some(u64::from(old)),
+                            written: Some(u64::from(v)),
+                        },
+                        OpKind::Swap,
+                    )
+                },
+            )
+        }
+
+        /// Atomic compare-and-exchange; a scheduling point under the model.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            run_op(
+                &self.cell,
+                false,
+                OpKind::Cas,
+                Some(success),
+                Some(failure),
+                || u64::from(self.raw.load(Ordering::SeqCst)),
+                || match self.raw.compare_exchange(current, new, success, failure) {
+                    Ok(old) => (
+                        Ok(old),
+                        OpBits {
+                            read: Some(u64::from(old)),
+                            written: Some(u64::from(new)),
+                        },
+                        OpKind::CasOk,
+                    ),
+                    Err(old) => (
+                        Err(old),
+                        OpBits {
+                            read: Some(u64::from(old)),
+                            written: None,
+                        },
+                        OpKind::CasFail,
+                    ),
+                },
+            )
+        }
+
+        /// Exclusive access to the flag; marks the shadow cell opaque under
+        /// the model.
+        pub fn get_mut(&mut self) -> &mut bool {
+            run_opaque(
+                &self.cell,
+                false,
+                u64::from(self.raw.load(Ordering::SeqCst)),
+            );
+            self.raw.get_mut()
+        }
+
+        /// Consume the atomic and return its value.
+        pub fn into_inner(self) -> bool {
+            self.raw.into_inner()
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&self.raw, f)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    /// Instrumented `AtomicPtr<T>`. In addition to scheduling, pointer
+    /// cells carry the release tag driving the checker's cross-thread
+    /// visibility rule (see the crate docs).
+    pub struct AtomicPtr<T> {
+        raw: std::sync::atomic::AtomicPtr<T>,
+        cell: CellHandle,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Create a new atomic pointer with the given initial value.
+        pub const fn new(p: *mut T) -> Self {
+            AtomicPtr {
+                raw: std::sync::atomic::AtomicPtr::new(p),
+                cell: CellHandle::new(),
+            }
+        }
+
+        /// Atomic load; a scheduling point under the model, checked against
+        /// the release-tag visibility rule.
+        pub fn load(&self, ord: Ordering) -> *mut T {
+            run_op(
+                &self.cell,
+                true,
+                OpKind::Load,
+                Some(ord),
+                None,
+                || self.raw.load(Ordering::SeqCst) as u64,
+                || {
+                    let p = self.raw.load(ord);
+                    (
+                        p,
+                        OpBits {
+                            read: Some(p as u64),
+                            written: None,
+                        },
+                        OpKind::Load,
+                    )
+                },
+            )
+        }
+
+        /// Atomic store; a scheduling point under the model, recording the
+        /// release tag for the visibility rule.
+        pub fn store(&self, p: *mut T, ord: Ordering) {
+            run_op(
+                &self.cell,
+                true,
+                OpKind::Store,
+                None,
+                Some(ord),
+                || self.raw.load(Ordering::SeqCst) as u64,
+                || {
+                    self.raw.store(p, ord);
+                    (
+                        (),
+                        OpBits {
+                            read: None,
+                            written: Some(p as u64),
+                        },
+                        OpKind::Store,
+                    )
+                },
+            )
+        }
+
+        /// Atomic swap; a scheduling point under the model, checked and
+        /// tagged by the visibility rule on both the read and the write.
+        pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+            run_op(
+                &self.cell,
+                true,
+                OpKind::Swap,
+                Some(ord),
+                Some(ord),
+                || self.raw.load(Ordering::SeqCst) as u64,
+                || {
+                    let old = self.raw.swap(p, ord);
+                    (
+                        old,
+                        OpBits {
+                            read: Some(old as u64),
+                            written: Some(p as u64),
+                        },
+                        OpKind::Swap,
+                    )
+                },
+            )
+        }
+
+        /// Atomic compare-and-exchange; a scheduling point under the model.
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            run_op(
+                &self.cell,
+                true,
+                OpKind::Cas,
+                Some(success),
+                Some(failure),
+                || self.raw.load(Ordering::SeqCst) as u64,
+                || match self.raw.compare_exchange(current, new, success, failure) {
+                    Ok(old) => (
+                        Ok(old),
+                        OpBits {
+                            read: Some(old as u64),
+                            written: Some(new as u64),
+                        },
+                        OpKind::CasOk,
+                    ),
+                    Err(old) => (
+                        Err(old),
+                        OpBits {
+                            read: Some(old as u64),
+                            written: None,
+                        },
+                        OpKind::CasFail,
+                    ),
+                },
+            )
+        }
+
+        /// Exclusive access to the pointer; marks the shadow cell opaque
+        /// under the model.
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            run_opaque(&self.cell, true, self.raw.load(Ordering::SeqCst) as u64);
+            self.raw.get_mut()
+        }
+
+        /// Consume the atomic and return its value.
+        pub fn into_inner(self) -> *mut T {
+            self.raw.into_inner()
+        }
+    }
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&self.raw, f)
+        }
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(std::ptr::null_mut())
+        }
+    }
+
+    /// Memory fence; a scheduling point under the model. A
+    /// Release/AcqRel/SeqCst fence sets a sticky per-thread release flag so
+    /// a subsequent relaxed pointer store still counts as published
+    /// (fence-before-store is a valid release idiom). Acquire-side fences
+    /// are conservatively treated as not satisfying the Acquire-read
+    /// requirement — the data plane under test uses no acquire fences, and
+    /// over-reporting beats under-reporting for a checker.
+    pub fn fence(ord: Ordering) {
+        match explore::current() {
+            None => std::sync::atomic::fence(ord),
+            Some(ctx) => {
+                ctx.exec
+                    .yield_and_run(ctx.id, Pending::Op(OpKind::Fence), move |inner, me| {
+                        std::sync::atomic::fence(ord);
+                        inner.note_fence(me, ord);
+                        Ok(())
+                    });
+            }
+        }
+    }
+}

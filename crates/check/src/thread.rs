@@ -1,0 +1,75 @@
+//! Controlled thread spawn/join for model closures.
+//!
+//! Inside a [`crate::model`] closure, use [`spawn`]/[`JoinHandle::join`]
+//! instead of `std::thread`: the spawned thread becomes a *controlled*
+//! thread whose instrumented operations the explorer schedules. Spawning is
+//! not itself a scheduling point (the child parks before running any user
+//! code); joining is — the joiner blocks until the child has finished, and
+//! the explorer treats a blocked joiner as disabled.
+
+use crate::explore::{current, join_pending, launch, Pending};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a controlled thread, returned by [`spawn`].
+pub struct JoinHandle<T> {
+    id: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in model time) for the child to finish and return its result.
+    ///
+    /// Unlike `std::thread::JoinHandle::join` this returns `T` directly: a
+    /// child panic aborts the whole execution and is re-raised by the
+    /// driver with schedule diagnostics, so `join` can never observe it.
+    pub fn join(self) -> T {
+        let ctx = current().expect("JoinHandle::join called outside a model execution");
+        ctx.exec
+            .yield_and_run(ctx.id, join_pending(self.id), |inner, me| {
+                inner.note_marker(me, crate::explore::OpKind::Join);
+                Ok(())
+            });
+        self.slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("joined child finished without a result (aborted execution)")
+    }
+}
+
+/// Spawn a controlled thread running `f`. Must be called from inside a
+/// model execution (the closure passed to [`crate::model`], or a thread it
+/// spawned).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let ctx = current().expect("check::thread::spawn called outside a model execution");
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let spawned = launch(&ctx.exec, f, move |val| {
+        *slot2.lock().unwrap() = Some(val);
+    });
+    ctx.exec.inner_register_handle(spawned.os);
+    JoinHandle {
+        id: spawned.id,
+        slot,
+    }
+}
+
+/// Yield the current controlled thread's "time slice": inserts an explicit
+/// scheduling point with no memory effect. Useful in harnesses to model a
+/// `std::thread::yield_now` back-off edge. No-op outside a model.
+pub fn yield_now() {
+    if let Some(ctx) = current() {
+        ctx.exec.yield_and_run(
+            ctx.id,
+            Pending::Op(crate::explore::OpKind::Yield),
+            |inner, me| {
+                inner.note_marker(me, crate::explore::OpKind::Yield);
+                Ok(())
+            },
+        );
+    }
+}

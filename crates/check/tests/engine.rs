@@ -1,0 +1,280 @@
+//! Engine self-tests: litmus patterns exercising the explorer itself.
+//! These use only `aiac-check`'s own types, so they run under any cfg (no
+//! `--cfg aiac_check` needed — that flag only switches what *aiac-core*
+//! compiles its atomics to).
+
+use aiac_check::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+use aiac_check::{model, thread, Builder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Two increments from two threads always sum, under every interleaving.
+#[test]
+fn counter_increments_never_lost() {
+    let report = model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    // ord: litmus — RMW increments are atomic at any ordering
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        // ord: litmus — final read at quiescence
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(
+        report.complete,
+        "exploration must finish within bounds: {report}"
+    );
+    assert!(
+        report.executions > 1,
+        "two threads must yield multiple schedules: {report}"
+    );
+}
+
+/// Store buffering: under the checker's sequentially-consistent front,
+/// (r1, r2) = (0, 0) is impossible, and the three SC outcomes are all
+/// actually visited — i.e. the explorer genuinely enumerates interleavings.
+#[test]
+fn store_buffering_enumerates_all_sc_outcomes() {
+    let outcomes = Arc::new(Mutex::new(std::collections::HashSet::new()));
+    let outcomes2 = Arc::clone(&outcomes);
+    let report = model(move || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn(move || {
+            // ord: litmus — store buffering writer
+            x1.store(1, Ordering::SeqCst);
+            // ord: litmus — store buffering read-back
+            y1.load(Ordering::SeqCst)
+        });
+        let t2 = thread::spawn(move || {
+            // ord: litmus — store buffering writer
+            y2.store(1, Ordering::SeqCst);
+            // ord: litmus — store buffering read-back
+            x2.load(Ordering::SeqCst)
+        });
+        let r1 = t1.join();
+        let r2 = t2.join();
+        assert_ne!(
+            (r1, r2),
+            (0, 0),
+            "SC front must forbid the store-buffering anomaly"
+        );
+        outcomes2.lock().unwrap().insert((r1, r2));
+    });
+    assert!(report.complete);
+    let seen = outcomes.lock().unwrap();
+    for want in [(0, 1), (1, 0), (1, 1)] {
+        assert!(
+            seen.contains(&want),
+            "outcome {want:?} never explored; saw {seen:?}"
+        );
+    }
+}
+
+/// Publishing a pointer without Release ordering is flagged by the
+/// visibility rule even though the SC front alone would never catch it.
+#[test]
+fn relaxed_pointer_publish_is_caught() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let slot: Arc<AtomicPtr<u8>> = Arc::new(AtomicPtr::new(std::ptr::null_mut()));
+            let slot2 = Arc::clone(&slot);
+            let t = thread::spawn(move || {
+                let p = Box::into_raw(Box::new(7u8));
+                // ord: litmus — deliberately-broken relaxed publish
+                slot2.store(p, Ordering::Relaxed);
+            });
+            // ord: litmus — acquire take side of the broken handoff
+            let p = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+            t.join();
+            // Reclaim without deref so the test itself never touches
+            // possibly-unpublished bytes (drop the box via a safe path is
+            // impossible without from_raw; leak instead — each execution
+            // leaks one byte, bounded by the executions count).
+            let _ = p;
+        });
+    }));
+    let err = result.expect_err("relaxed pointer publish must be reported");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("visibility violation") && msg.contains("without Release"),
+        "unexpected failure message: {msg}"
+    );
+}
+
+/// The same handoff with Release/Acquire (or a release fence before a
+/// relaxed store) passes cleanly.
+#[test]
+fn released_pointer_publish_is_clean() {
+    let report = model(|| {
+        let slot: Arc<AtomicPtr<u8>> = Arc::new(AtomicPtr::new(std::ptr::null_mut()));
+        let slot2 = Arc::clone(&slot);
+        let t = thread::spawn(move || {
+            let p = Box::into_raw(Box::new(7u8));
+            // ord: litmus — correct release publish
+            slot2.store(p, Ordering::Release);
+        });
+        // ord: litmus — acquire take
+        let p = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+        t.join();
+        let _ = p;
+    });
+    assert!(report.complete);
+
+    let report = model(|| {
+        let slot: Arc<AtomicPtr<u8>> = Arc::new(AtomicPtr::new(std::ptr::null_mut()));
+        let slot2 = Arc::clone(&slot);
+        let t = thread::spawn(move || {
+            let p = Box::into_raw(Box::new(7u8));
+            // ord: litmus — fence-then-relaxed-store release idiom
+            fence(Ordering::Release);
+            // ord: litmus — relaxed store covered by the preceding fence
+            slot2.store(p, Ordering::Relaxed);
+        });
+        // ord: litmus — acquire take
+        let p = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+        t.join();
+        let _ = p;
+    });
+    assert!(report.complete);
+}
+
+/// An assertion that only fails under one interleaving is found, and the
+/// report names the schedule.
+#[test]
+fn interleaving_sensitive_assertion_is_found() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let x = Arc::new(AtomicUsize::new(0));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || {
+                // ord: litmus — racing store
+                x2.store(1, Ordering::SeqCst);
+            });
+            // ord: litmus — racing read the harness wrongly assumes is first
+            let seen = x.load(Ordering::SeqCst);
+            t.join();
+            assert_eq!(seen, 0, "reader ran after writer in this schedule");
+        });
+    }));
+    let err = result.expect_err("the racy schedule must be discovered");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("model checking failed"),
+        "missing diagnostics: {msg}"
+    );
+    assert!(msg.contains("schedule"), "missing schedule dump: {msg}");
+}
+
+/// An unbounded spin loop trips the per-execution op budget instead of
+/// hanging the checker.
+#[test]
+fn livelock_trips_op_budget() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Builder {
+            max_ops: 200,
+            ..Builder::default()
+        }
+        .check(|| {
+            let x = AtomicUsize::new(0);
+            // ord: litmus — deliberate unbounded spin
+            while x.load(Ordering::SeqCst) == 0 {
+                std::hint::spin_loop();
+            }
+        });
+    }));
+    let err = result.expect_err("spin loop must trip max_ops");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("max_ops"), "unexpected message: {msg}");
+}
+
+/// State-hash pruning collapses symmetric schedules: with three identical
+/// incrementers the pruned count is non-zero, yet exploration stays
+/// complete and the invariant holds in every execution.
+#[test]
+fn pruning_collapses_symmetric_schedules() {
+    let report = Builder {
+        max_threads: 4,
+        ..Builder::default()
+    }
+    .check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    // ord: litmus — RMW increment
+                    n.fetch_add(1, Ordering::SeqCst);
+                    // ord: litmus — re-read after increment
+                    n.load(Ordering::SeqCst)
+                })
+            })
+            .collect();
+        let mut max_seen = 0;
+        for h in handles {
+            max_seen = max_seen.max(h.join());
+        }
+        assert_eq!(
+            max_seen, 3,
+            "the last increment must observe the full count"
+        );
+    });
+    assert!(report.complete);
+    assert!(
+        report.pruned > 0,
+        "symmetric interleavings should be pruned: {report}"
+    );
+    assert!(report.distinct_states > 0);
+}
+
+/// Preemption bounding: at zero preemptions only run-to-completion
+/// schedules remain, so the execution count collapses but exploration
+/// still covers every thread order.
+#[test]
+fn zero_preemption_bound_explores_thread_orders() {
+    let unbounded = Builder {
+        max_preemptions: 3,
+        ..Builder::default()
+    }
+    .check(two_adders);
+    let bounded = Builder {
+        max_preemptions: 0,
+        ..Builder::default()
+    }
+    .check(two_adders);
+    assert!(bounded.complete && unbounded.complete);
+    assert!(
+        bounded.executions < unbounded.executions,
+        "preemption bounding must shrink the schedule space: {bounded} vs {unbounded}"
+    );
+}
+
+fn two_adders() {
+    let n = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let n = Arc::clone(&n);
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    // ord: litmus — RMW increment
+                    n.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    // ord: litmus — final read at quiescence
+    assert_eq!(n.load(Ordering::SeqCst), 4);
+}

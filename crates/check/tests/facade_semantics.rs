@@ -1,0 +1,88 @@
+//! Facade-neutrality regression: the `runtime::sync` atomics must behave
+//! *identically* to `std::sync::atomic` whenever no model-checking context
+//! is installed — even in a binary compiled with `--cfg aiac_check`.
+//!
+//! The sharpest end-to-end probe the repo has for "the scheduler did
+//! exactly what the policy says" is the structural-zero steal-counter
+//! contract: under [`StealPolicy::SharedFifo`] every ready block flows
+//! through the shared injector and the work-stealing machinery is never
+//! touched, so `steals`, `failed_steal_attempts`, `local_pushes`, and
+//! `queue_wait_events` must all be exactly zero — not merely small. Running
+//! that contract here, in the `aiac_check` configuration with the
+//! instrumented facade linked in, proves the fall-through path (no
+//! thread-local explorer context → raw `std` atomics) does not perturb the
+//! real executor: same convergence, same structurally-zero counters.
+#![cfg(aiac_check)]
+
+use aiac_core::config::{RunConfig, StealPolicy};
+use aiac_core::kernel::{BlockUpdate, DependencyView, IterativeKernel};
+use aiac_core::runtime::ThreadedRuntime;
+
+/// A ring of blocks, each contracting toward the mean of its two neighbours
+/// plus a constant — a textbook contraction (factor 1/2 < 1), defined here
+/// against the public kernel API only.
+struct RingMean {
+    blocks: usize,
+}
+
+impl RingMean {
+    /// Fixed point of `x = x/2 + 1`.
+    const FIXED_POINT: f64 = 2.0;
+}
+
+impl IterativeKernel for RingMean {
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+    fn block_len(&self, _b: usize) -> usize {
+        1
+    }
+    fn initial_block(&self, _b: usize) -> Vec<f64> {
+        vec![0.0]
+    }
+    fn dependencies(&self, b: usize) -> Vec<usize> {
+        let n = self.blocks;
+        vec![(b + n - 1) % n, (b + 1) % n]
+    }
+    fn update_block(&self, b: usize, local: &[f64], others: &DependencyView) -> BlockUpdate {
+        let n = self.blocks;
+        let left = others.get((b + n - 1) % n).map_or(0.0, |v| v[0]);
+        let right = others.get((b + 1) % n).map_or(0.0, |v| v[0]);
+        let next = (left + right) / 4.0 + 1.0;
+        BlockUpdate {
+            residual: (next - local[0]).abs(),
+            values: vec![next],
+        }
+    }
+}
+
+#[test]
+fn shared_fifo_counters_stay_structurally_zero_under_the_facade() {
+    let kernel = RingMean { blocks: 8 };
+    let config = RunConfig::asynchronous(1e-10)
+        .with_streak(4)
+        .with_num_workers(3)
+        .with_steal_policy(StealPolicy::SharedFifo);
+    let report = ThreadedRuntime::new().run(&kernel, &config);
+    assert!(
+        report.converged,
+        "facade fall-through must not break convergence"
+    );
+    for v in &report.solution {
+        assert!(
+            (v - RingMean::FIXED_POINT).abs() < 1e-6,
+            "value {v} vs fixed point {}",
+            RingMean::FIXED_POINT
+        );
+    }
+    assert_eq!(report.steals, 0, "SharedFifo must never steal");
+    assert_eq!(
+        report.failed_steal_attempts, 0,
+        "SharedFifo must never probe a deque"
+    );
+    assert_eq!(report.local_pushes, 0, "SharedFifo must never push locally");
+    assert_eq!(
+        report.queue_wait_events, 0,
+        "SharedFifo parks via the injector only"
+    );
+}

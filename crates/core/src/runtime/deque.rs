@@ -45,7 +45,12 @@
 //! belongs to worker `w`; the coordinator routes cross-thread work through
 //! the pool's overflow queue instead).
 
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
+// Atomics come from the sync facade so the bounded model checker can
+// instrument them under `--cfg aiac_check` (enforced by `cargo xtask
+// analyze`).
+// ord: SeqCst — single all-SeqCst import by design; see the module docs for
+// why sequential consistency replaces the classic Chase–Lev fence.
+use crate::runtime::sync::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +267,51 @@ mod tests {
                 other => panic!("the element must go to exactly one side, got {other:?}"),
             }
             assert_eq!(dq.pop(), None);
+            assert_eq!(dq.steal(), Steal::Empty);
+        }
+    }
+
+    /// The threaded executor's fairness valve has the owner take from its
+    /// *own* deque's FIFO end — an owner-side `steal`, legal Chase–Lev usage
+    /// — every `FAIRNESS_INTERVAL`-th lap. Deterministic two-thread version
+    /// of the model-checked harness (`crates/check/tests/deque_model.rs`),
+    /// small enough for Miri's weak-memory exploration: owner-steal,
+    /// thief-steal, and owner-pop must hand out every element exactly once.
+    #[test]
+    fn fairness_valve_owner_side_steal_vs_thief() {
+        for _round in 0..8 {
+            let dq = Arc::new(StealDeque::new(4));
+            for i in 0..3 {
+                dq.push(i).unwrap();
+            }
+            let thief = {
+                let dq = Arc::clone(&dq);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..3 {
+                        if let Steal::Success(v) = dq.steal() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            };
+            let mut kept = Vec::new();
+            // Valve lap: drain the own FIFO end, like `stealing_worker`.
+            if let Steal::Success(v) = dq.steal() {
+                kept.push(v);
+            }
+            // Ordinary laps: LIFO pops.
+            while let Some(v) = dq.pop() {
+                kept.push(v);
+            }
+            let mut all: Vec<usize> = kept.into_iter().chain(thief.join().unwrap()).collect();
+            while let Some(v) = dq.pop() {
+                all.push(v);
+            }
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2], "an element was lost or duplicated");
+            assert!(dq.is_empty());
             assert_eq!(dq.steal(), Steal::Empty);
         }
     }

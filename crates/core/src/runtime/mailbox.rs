@@ -34,8 +34,11 @@
 
 use crate::depgraph::DependencyGraph;
 use crate::kernel::Payload;
+// Atomics come from the sync facade, never from std directly: under
+// `--cfg aiac_check` they resolve to the bounded model checker's
+// instrumented types (enforced by `cargo xtask analyze`).
+use crate::runtime::sync::{AtomicI64, AtomicPtr, AtomicU64, Ordering};
 use std::ptr;
-use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, Ordering};
 
 /// The latest iterate published on one dependency edge.
 struct Envelope {
@@ -76,16 +79,21 @@ pub struct CoalescingMailboxes {
     publishes: AtomicU64,
     /// Publishes that replaced a not-yet-consumed payload (newest wins).
     coalesced: AtomicU64,
-    /// Number of currently occupied slots. Signed because the publish-side
-    /// increment and the take-side decrement are separate atomics on a
-    /// lock-free path: a take can decrement *before* the racing publish that
-    /// emptied-then-refilled its slot increments, so the counter may dip
-    /// below zero transiently. An unsigned counter would wrap and poison the
-    /// peak forever; a signed one just reads as "in flux".
+    /// Number of currently occupied slots, maintained so it *lags the true
+    /// count from below*: a publisher increments only **after** filling an
+    /// empty slot, and the consumer decrements **before** its emptying swap
+    /// (see `take_for`). At every instant `occupancy ≤ #occupied slots ≤
+    /// capacity` — the bounded model checker verifies this exhaustively.
+    /// Signed defensively: if the discipline were ever broken (e.g. a take
+    /// racing a slot it does not own), an unsigned counter would wrap and
+    /// poison the peak forever; a signed one just reads as "in flux".
     occupancy: AtomicI64,
-    /// High-water mark of `occupancy`, updated only on the publish side
-    /// (where the count is known to be an undercount or exact, never
-    /// inflated), so it can never exceed the edge-count capacity.
+    /// High-water mark of `occupancy`, updated only on the publish side.
+    /// Because `occupancy` never overcounts (see above), the recorded peak
+    /// can never exceed the edge-count capacity. (An earlier scheme
+    /// decremented *after* the consumer's swap; the model checker found the
+    /// two-op window in which a racing publish then inflates the peak past
+    /// the capacity — exactly the schedule the seeded proptests never hit.)
     peak_occupancy: AtomicU64,
 }
 
@@ -118,6 +126,7 @@ impl CoalescingMailboxes {
                 routes[src].push((dst, k));
             }
             slots.push(deps.iter().map(|_| Slot::empty()).collect());
+            // copy: construction-time edge-list copy, never on a publish/take path
             sources.push(deps.to_vec());
         }
         Self {
@@ -138,8 +147,10 @@ impl CoalescingMailboxes {
 
     /// Records that a previously empty slot became occupied.
     fn note_occupied(&self) {
+        // ord: stat counter — occupancy is advisory telemetry, read at quiescence
         let now = self.occupancy.fetch_add(1, Ordering::Relaxed) + 1;
         if now > 0 {
+            // ord: stat counter — peak high-water mark, never synchronizes data
             self.peak_occupancy.fetch_max(now as u64, Ordering::Relaxed);
         }
     }
@@ -158,18 +169,22 @@ impl CoalescingMailboxes {
         mut on_deliver: impl FnMut(usize),
     ) {
         for &(dst, k) in &self.routes[src] {
+            // ord: stat counter — publish count is telemetry only
             self.publishes.fetch_add(1, Ordering::Relaxed);
             let slot = &self.slots[dst][k];
             let fresh = Box::into_raw(Box::new(Envelope {
                 iteration,
+                // copy: refcount bump on the shared payload, not a data copy
                 values: values.clone(),
             }));
-            // Release our envelope to the consumer; acquire whatever the
-            // previous occupant published so we may legally free it.
+            // ord: AcqRel — Release publishes our envelope's contents to the
+            // consumer; Acquire pairs with the previous publisher's Release so
+            // the displaced envelope is fully visible before we free it.
             let displaced = slot.ptr.swap(fresh, Ordering::AcqRel);
             if displaced.is_null() {
                 self.note_occupied();
             } else {
+                // ord: stat counter — coalesce count is telemetry only
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
                 // SAFETY: a non-null pointer swapped out of a slot is a
                 // `Box::into_raw` that no other thread can reach any more
@@ -181,6 +196,9 @@ impl CoalescingMailboxes {
                     // invariant nobody else can publish on this edge
                     // concurrently, so the second swap only races the
                     // consumer's take.
+                    // ord: AcqRel — same pairing as the first swap: Release
+                    // republishes the newer envelope, Acquire lets us free
+                    // whatever we displaced.
                     let ours = slot.ptr.swap(Box::into_raw(displaced), Ordering::AcqRel);
                     if ours.is_null() {
                         // The consumer drained the slot between our two
@@ -203,25 +221,47 @@ impl CoalescingMailboxes {
     /// in its dependency view with a refcount bump.
     pub fn take_for(&self, dst: usize, mut consume: impl FnMut(usize, u64, Payload)) {
         for (k, slot) in self.slots[dst].iter().enumerate() {
-            // Acquire pairs with the publisher's release so the envelope's
-            // contents are visible before we read them.
-            let taken = slot.ptr.swap(ptr::null_mut(), Ordering::Acquire);
-            if !taken.is_null() {
-                self.occupancy.fetch_sub(1, Ordering::Relaxed);
-                // SAFETY: non-null pointers in a slot are leaked boxes, and
-                // the swap made this one unreachable to every other thread.
-                let env = unsafe { Box::from_raw(taken) };
-                consume(self.sources[dst][k], env.iteration, env.values);
+            // ord: Acquire — peek pairs with the publisher's Release. A null
+            // peek skips the slot with a plain load, keeping the common
+            // empty-poll path free of read-modify-write traffic.
+            if slot.ptr.load(Ordering::Acquire).is_null() {
+                continue;
             }
+            // ord: stat counter — decrement *before* the emptying swap, so
+            // occupancy lags the true occupied count from below and the
+            // publish-side peak can never record a value above capacity.
+            // Sound because only this consumer empties the slot: between the
+            // non-null peek and the swap the slot stays occupied.
+            self.occupancy.fetch_sub(1, Ordering::Relaxed);
+            // ord: Acquire — pairs with the publisher's Release so the
+            // envelope's contents are visible before we read them; the write
+            // side only installs null, which publishes nothing.
+            let taken = slot.ptr.swap(ptr::null_mut(), Ordering::Acquire);
+            if taken.is_null() {
+                // Unreachable under the single-consumer-per-destination
+                // invariant (publishers never empty a slot); restore the
+                // counter defensively rather than assume it.
+                // ord: stat counter — undo the advance decrement
+                self.occupancy.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // SAFETY: non-null pointers in a slot are leaked boxes, and
+            // the swap made this one unreachable to every other thread.
+            let env = unsafe { Box::from_raw(taken) };
+            consume(self.sources[dst][k], env.iteration, env.values);
         }
     }
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> MailboxStats {
         MailboxStats {
+            // ord: stat counter — snapshot reads of telemetry counters
             publishes: self.publishes.load(Ordering::Relaxed),
+            // ord: stat counter — snapshot read
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            // ord: stat counter — snapshot read; may transiently undercount
             occupancy: self.occupancy.load(Ordering::Relaxed).max(0) as u64,
+            // ord: stat counter — snapshot read
             peak_occupancy: self.peak_occupancy.load(Ordering::Relaxed),
             capacity: self.capacity(),
         }

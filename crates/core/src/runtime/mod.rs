@@ -20,6 +20,7 @@ pub mod deque;
 pub mod mailbox;
 pub mod sequential;
 pub mod simulated;
+pub mod sync;
 pub mod threaded;
 
 pub use deque::{PushError, Steal, StealDeque};

@@ -58,9 +58,12 @@ use crate::message::Message;
 use crate::report::{RunError, RunReport};
 use crate::runtime::deque::{Steal, StealDeque};
 use crate::runtime::mailbox::{CoalescingMailboxes, MailboxStats};
+// Atomics come from the sync facade so the bounded model checker can
+// instrument them under `--cfg aiac_check` (enforced by `cargo xtask
+// analyze`).
+use crate::runtime::sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crossbeam::channel::{unbounded, Sender};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Condvar, Mutex};
 use std::time::Instant;
 
@@ -190,6 +193,7 @@ impl WorkPool {
     /// with `local = None` it goes straight onto the injector. Returns
     /// whether the block landed on the local deque.
     fn enqueue(&self, block: usize, local: Option<usize>) -> bool {
+        // ord: SeqCst — queued-bit claim totally ordered with the pending/epoch bumps and the park-side re-checks (Dekker handshake with sleepers)
         if self.closed.load(Ordering::SeqCst) || self.queued[block].swap(true, Ordering::SeqCst) {
             return false;
         }
@@ -200,7 +204,9 @@ impl WorkPool {
         if !placed_local {
             self.injector.lock().unwrap().push_back(block);
         }
+        // ord: SeqCst — pending bump must be visible before any parked worker re-checks emptiness
         self.pending.fetch_add(1, Ordering::SeqCst);
+        // ord: SeqCst — epoch bump publishes the new work to epoch-parked sleepers
         self.epoch.fetch_add(1, Ordering::SeqCst);
         self.wake(false);
         placed_local
@@ -209,6 +215,7 @@ impl WorkPool {
     /// Schedules every not-yet-queued block onto the injector (the
     /// stop/drain broadcast) and wakes all workers.
     fn enqueue_all(&self) {
+        // ord: SeqCst — closed gate ordered with the shutdown broadcast
         if self.closed.load(Ordering::SeqCst) {
             return;
         }
@@ -216,6 +223,7 @@ impl WorkPool {
         {
             let mut injector = self.injector.lock().unwrap();
             for block in 0..self.queued.len() {
+                // ord: SeqCst — queued-bit claim, same protocol as enqueue()
                 if !self.queued[block].swap(true, Ordering::SeqCst) {
                     injector.push_back(block);
                     added += 1;
@@ -223,7 +231,9 @@ impl WorkPool {
             }
         }
         if added > 0 {
+            // ord: SeqCst — pending visible before parked workers re-check
             self.pending.fetch_add(added, Ordering::SeqCst);
+            // ord: SeqCst — epoch bump publishes the injected batch
             self.epoch.fetch_add(1, Ordering::SeqCst);
         }
         // Always wake everyone: even with nothing new queued, parked workers
@@ -238,7 +248,9 @@ impl WorkPool {
     /// publish that raced the take either re-queues the block or its payload
     /// is picked up by the drain.
     fn took(&self, block: usize) {
+        // ord: SeqCst — queued-bit release ordered before the pending decrement so a racing re-enqueue cannot be missed
         self.queued[block].store(false, Ordering::SeqCst);
+        // ord: SeqCst — pending decrement ordered with park-side emptiness checks
         self.pending.fetch_sub(1, Ordering::SeqCst);
     }
 
@@ -259,14 +271,17 @@ impl WorkPool {
             let victim = (worker + 1 + (splitmix64(rng) as usize) % (n - 1)) % n;
             match self.deques[victim].steal() {
                 Steal::Success(block) => {
+                    // ord: stat counter — steal telemetry, read at quiescence
                     self.steals.fetch_add(1, Ordering::Relaxed);
                     return (Some(block), saw_contention);
                 }
                 Steal::Retry => {
                     saw_contention = true;
+                    // ord: stat counter — failed-steal telemetry
                     self.failed_steal_attempts.fetch_add(1, Ordering::Relaxed);
                 }
                 Steal::Empty => {
+                    // ord: stat counter — failed-steal telemetry
                     self.failed_steal_attempts.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -295,7 +310,9 @@ impl WorkPool {
             // injector, which the caller checks next — spinning here would
             // just delay it.
             if !saw_contention
+                // ord: SeqCst — closed re-check inside the bounded backoff loop
                 || self.closed.load(Ordering::SeqCst)
+                // ord: SeqCst — pending re-check pairs with enqueue's SeqCst bump
                 || self.pending.load(Ordering::SeqCst) == 0
             {
                 break;
@@ -304,6 +321,7 @@ impl WorkPool {
                 std::thread::yield_now();
             } else {
                 for _ in 0..(SPIN_BASE << round) {
+                    // spin: bounded backoff — at most SPIN_BASE << round iterations, with round capped by the caller; never an unbounded wait
                     std::hint::spin_loop();
                 }
             }
@@ -323,14 +341,18 @@ impl WorkPool {
     /// broadcast (`closed` in the wait predicate) is observed promptly.
     fn park_idle(&self, count: bool) {
         if count {
+            // ord: stat counter — park-event telemetry
             self.queue_wait_events.fetch_add(1, Ordering::Relaxed);
         }
+        // ord: SeqCst — sleeper registration before the final emptiness re-check (Dekker: enqueue reads sleepers after its pending bump)
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let mut lot = self.park.lock().unwrap();
+        // ord: SeqCst — closed/pending re-check under the park mutex; pairs with enqueue
         while !self.closed.load(Ordering::SeqCst) && self.pending.load(Ordering::SeqCst) == 0 {
             lot = self.ready.wait(lot).unwrap();
         }
         drop(lot);
+        // ord: SeqCst — sleeper deregistration
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
@@ -347,20 +369,25 @@ impl WorkPool {
     /// wakeups.
     fn park_until_enqueue(&self, seen: usize, count: bool) {
         if count {
+            // ord: stat counter — park-event telemetry
             self.queue_wait_events.fetch_add(1, Ordering::Relaxed);
         }
+        // ord: SeqCst — sleeper registration before the epoch re-check
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let mut lot = self.park.lock().unwrap();
+        // ord: SeqCst — closed/epoch re-check under the park mutex
         while !self.closed.load(Ordering::SeqCst) && self.epoch.load(Ordering::SeqCst) == seen {
             lot = self.ready.wait(lot).unwrap();
         }
         drop(lot);
+        // ord: SeqCst — sleeper deregistration
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// The publisher half of the parking handshake (see
     /// [`WorkPool::park_idle`]); `all` broadcasts instead of waking one.
     fn wake(&self, all: bool) {
+        // ord: SeqCst — wake fast path reads the sleeper count the parkers bumped
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _lot = self.park.lock().unwrap();
             if all {
@@ -372,11 +399,13 @@ impl WorkPool {
     }
 
     fn is_closed(&self) -> bool {
+        // ord: SeqCst — closed gate
         self.closed.load(Ordering::SeqCst)
     }
 
     /// Shuts the pool down and releases every parked worker.
     fn close(&self) {
+        // ord: SeqCst — closing must be visible to every park re-check
         self.closed.store(true, Ordering::SeqCst);
         let _lot = self.park.lock().unwrap();
         self.ready.notify_all();
@@ -384,9 +413,13 @@ impl WorkPool {
 
     fn counters(&self) -> SchedCounters {
         SchedCounters {
+            // ord: SeqCst — quiescent snapshot for the stats report
             steals: self.steals.load(Ordering::SeqCst),
+            // ord: SeqCst — quiescent snapshot
             failed_steal_attempts: self.failed_steal_attempts.load(Ordering::SeqCst),
+            // ord: SeqCst — quiescent snapshot
             local_pushes: self.local_pushes.load(Ordering::SeqCst),
+            // ord: SeqCst — quiescent snapshot
             queue_wait_events: self.queue_wait_events.load(Ordering::SeqCst),
         }
     }
@@ -489,6 +522,7 @@ impl ThreadedRuntime {
         })
         .expect("a synchronous worker thread panicked");
 
+        // ord: SeqCst — read after every worker joined; kept SeqCst so the proof stays trivial
         let converged = stop.load(Ordering::SeqCst);
         finalize_report(
             kernel,
@@ -499,8 +533,10 @@ impl ThreadedRuntime {
                 .into_iter()
                 .map(|r| r.into_inner().unwrap())
                 .collect(),
+            // ord: SeqCst — post-join counter snapshot
             data_messages.load(Ordering::SeqCst),
             0,
+            // ord: SeqCst — post-join counter snapshot
             data_bytes.load(Ordering::SeqCst),
             converged,
             mailboxes.stats(),
@@ -563,6 +599,7 @@ impl ThreadedRuntime {
         crossbeam::scope(|scope| {
             for worker in 0..workers {
                 let pool = &pool;
+                // copy: channel-handle clone (Sender), not payload data
                 let coord_tx = coord_tx.clone();
                 scope.spawn(move |_| {
                     let _guard = PanicGuard(&pool.sched);
@@ -581,6 +618,7 @@ impl ThreadedRuntime {
                 match coord_rx.recv() {
                     Ok(CoordEvent::StateChange { block, converged }) => {
                         if detector.report(block, converged) {
+                            // ord: SeqCst — stop broadcast to all workers
                             pool.stop.store(true, Ordering::SeqCst);
                             // The stop broadcast: wake every parked worker and
                             // dormant block so each one observes the flag and
@@ -606,8 +644,11 @@ impl ThreadedRuntime {
                 .into_iter()
                 .map(|r| r.into_inner().unwrap())
                 .collect(),
+            // ord: SeqCst — post-join counter snapshot
             pool.data_messages.load(Ordering::SeqCst),
+            // ord: SeqCst — post-join counter snapshot
             pool.control_messages.load(Ordering::SeqCst),
+            // ord: SeqCst — post-join counter snapshot
             pool.data_bytes.load(Ordering::SeqCst),
             detector.is_decided(),
             stats,
@@ -648,6 +689,7 @@ fn stealing_worker(pool: &AsyncPool<'_>, worker: usize, coord_tx: &Sender<CoordE
         // a sleep. (Parking on `pending == 0` instead would busy-loop: the
         // pending work may all sit on another worker's deque, unavailable
         // to this thief until its owner pops it or a future sweep wins it.)
+        // ord: SeqCst — epoch snapshot before the work re-check: a concurrent enqueue either shows up in the check or bumps past this value and cancels the park
         let seen = pool.sched.epoch.load(Ordering::SeqCst);
         // Fairness valve: periodically take from a FIFO end — the injector,
         // or failing that the own deque's oldest entry (an owner-side
@@ -754,6 +796,7 @@ impl AsyncPool<'_> {
         });
 
         let max_iter = self.config.max_iterations as u64;
+        // ord: SeqCst — stop gate on the dispatch path
         if self.stop.load(Ordering::SeqCst) || task.state.iteration >= max_iter {
             self.finish(block, &mut task, coord_tx);
             return;
@@ -790,6 +833,7 @@ impl AsyncPool<'_> {
             .local
             .observe_gated(drift, fresh_data || !has_dependencies || at_fixed_point)
         {
+            // ord: stat counter — control-message telemetry
             self.control_messages.fetch_add(1, Ordering::Relaxed);
             let _ = coord_tx.send(CoordEvent::StateChange {
                 block,
@@ -817,18 +861,23 @@ impl AsyncPool<'_> {
             self.mailboxes
                 .publish_from(block, task.state.iteration, &task.state.values, |dst| {
                     if self.sched.enqueue(dst, bias) {
+                        // ord: stat counter — locality telemetry
                         self.sched.local_pushes.fetch_add(1, Ordering::Relaxed);
                     }
                 });
+            // ord: stat counter — message-count telemetry
             self.data_messages.fetch_add(out_degree, Ordering::Relaxed);
             self.data_bytes.fetch_add(
                 out_degree * Message::data_payload_bytes(task.state.values.len()),
+                // ord: stat counter — byte-count telemetry
                 Ordering::Relaxed,
             );
         }
 
+        // ord: SeqCst — stop gate re-checked after the iterate
         if self.stop.load(Ordering::SeqCst) || task.state.iteration >= max_iter {
             self.finish(block, &mut task, coord_tx);
+        // ord: SeqCst — drain flag decides requeue-at-fixed-point
         } else if task.local.is_converged() && !self.drain.load(Ordering::SeqCst) {
             // Dormant: stay off the run queue until a dependency publishes
             // fresh data or the stop/drain broadcast re-enqueues everything.
@@ -852,19 +901,23 @@ impl AsyncPool<'_> {
         *self.results[block].lock().unwrap() = Some(BlockOutcome {
             // One copy per block at retirement, off the hot path (the shared
             // payload may still be referenced by the mailboxes).
+            // copy: retirement snapshot — the block's values leave the runtime exactly once, at finish
             values: task.state.values.to_vec(),
             iterations: task.state.iteration,
             residual: task.state.residual,
             payload_clones: task.state.payload_clones,
             bytes_copied: task.state.bytes_copied,
         });
+        // ord: SeqCst — stop gate before the convergence broadcast
         if !self.stop.load(Ordering::SeqCst) {
             // Iteration-limit exit before any stop order: global convergence
             // may never be decided now, so make sure no block parks forever.
+            // ord: SeqCst — drain broadcast: every worker must observe it before its final laps
             self.drain.store(true, Ordering::SeqCst);
             self.sched.enqueue_all();
         }
         let _ = coord_tx.send(CoordEvent::Finished);
+        // ord: SeqCst — finished-block count decides the single shutdown edge
         if self.finished_blocks.fetch_add(1, Ordering::SeqCst) + 1 == self.tasks.len() {
             self.sched.close();
         }
@@ -904,13 +957,16 @@ fn sync_worker(
         // sweep) and publish the new iterates to the dependants' mailboxes.
         for state in states.iter_mut() {
             let residual = state.iterate(kernel);
+            // ord: SeqCst — residual publication for the coordinator's convergence scan
             residuals[state.id].store(residual.to_bits(), Ordering::SeqCst);
             let out_degree = graph.out_neighbours(state.id).len() as u64;
             if out_degree > 0 {
                 mailboxes.publish_from(state.id, state.iteration, &state.values, |_| {});
+                // ord: stat counter — message-count telemetry
                 data_messages.fetch_add(out_degree, Ordering::Relaxed);
                 data_bytes.fetch_add(
                     out_degree * Message::data_payload_bytes(state.values.len()),
+                    // ord: stat counter — byte-count telemetry
                     Ordering::Relaxed,
                 );
             }
@@ -929,14 +985,17 @@ fn sync_worker(
         if worker == 0 {
             let worst = residuals
                 .iter()
+                // ord: SeqCst — convergence scan of the published residuals
                 .map(|r| f64::from_bits(r.load(Ordering::SeqCst)))
                 .fold(0.0f64, f64::max);
             if worst < config.epsilon {
+                // ord: SeqCst — stop broadcast on global convergence
                 stop.store(true, Ordering::SeqCst);
             }
         }
         // Barrier B: everyone sees the decision for this iteration.
         barrier.wait();
+        // ord: SeqCst — stop gate for the superstep loop
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -948,6 +1007,7 @@ fn sync_worker(
             residual: state.residual,
             payload_clones: state.payload_clones,
             bytes_copied: state.bytes_copied,
+            // copy: retirement snapshot — sync-mode values leave the runtime at finish
             values: state.values.to_vec(),
         });
     }

@@ -1,0 +1,15 @@
+//! `cargo xtask` — repo automation entry point.
+
+mod analyze;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("analyze") => analyze::run(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask analyze [--self-test]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
