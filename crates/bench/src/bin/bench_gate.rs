@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_gate BASELINE [CANDIDATE] [--rel-tolerance F] [--abs-tolerance F]
+//!            [--experiment NAME]
 //! ```
 //!
 //! Compares a candidate [`BenchRecord`] against the committed baseline
@@ -15,6 +16,10 @@
 //! flake-free on shared runners; wall-clock samples are carried in the
 //! records for trend-watching but never gated.
 //!
+//! `--experiment NAME` narrows both records to one experiment before
+//! comparing — the per-subsystem CI jobs (e.g. `service-smoke`) gate their
+//! own record against the full committed baseline this way.
+//!
 //! Exit codes: 0 = within tolerance, 1 = regression (or a candidate check
 //! failure), 2 = usage / IO error.
 
@@ -26,15 +31,17 @@ struct Args {
     baseline: String,
     candidate: Option<String>,
     tolerance: Tolerance,
+    experiment: Option<String>,
 }
 
-const USAGE: &str =
-    "usage: bench_gate BASELINE [CANDIDATE] [--rel-tolerance F] [--abs-tolerance F]";
+const USAGE: &str = "usage: bench_gate BASELINE [CANDIDATE] [--rel-tolerance F] \
+     [--abs-tolerance F] [--experiment NAME]";
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut baseline = None;
     let mut candidate = None;
     let mut tolerance = Tolerance::default();
+    let mut experiment = None;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--rel-tolerance" => {
@@ -44,6 +51,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--abs-tolerance" => {
                 let raw = argv.next().ok_or("--abs-tolerance needs a number")?;
                 tolerance.abs = parse_bound(&raw)?;
+            }
+            "--experiment" => {
+                experiment = Some(argv.next().ok_or("--experiment needs a name")?);
             }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => {
@@ -58,6 +68,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         baseline: baseline.ok_or("a baseline file is required")?,
         candidate,
         tolerance,
+        experiment,
     })
 }
 
@@ -90,7 +101,7 @@ fn main() {
         }
     };
 
-    let baseline = match load_record(&args.baseline) {
+    let mut baseline = match load_record(&args.baseline) {
         Ok(record) => record,
         Err(err) => {
             eprintln!("bench_gate: {err}");
@@ -98,7 +109,7 @@ fn main() {
         }
     };
 
-    let candidate = match &args.candidate {
+    let mut candidate = match &args.candidate {
         Some(path) => match load_record(path) {
             Ok(record) => record,
             Err(err) => {
@@ -113,6 +124,19 @@ fn main() {
             run_specs(&specs, Fidelity::Smoke.suite(), scale.full_scale)
         }
     };
+
+    if let Some(name) = &args.experiment {
+        baseline.experiments.retain(|e| &e.experiment == name);
+        if baseline.experiments.is_empty() {
+            eprintln!(
+                "bench_gate: experiment {name:?} is not in the baseline {} — \
+                 refresh it with `bench_all --smoke --json BENCH_baseline.json`",
+                args.baseline
+            );
+            std::process::exit(2);
+        }
+        candidate.experiments.retain(|e| &e.experiment == name);
+    }
 
     // A candidate that failed its own invariants must not pass the gate,
     // however its metrics compare.

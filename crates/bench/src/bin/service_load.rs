@@ -1,0 +1,146 @@
+//! Runs the `service_load` experiment: thousands of concurrent multi-tenant
+//! solve jobs through admission, DRR fairness and the result cache over the
+//! shared worker pool.
+//!
+//! ```text
+//! service_load [--smoke | --full] [--json PATH] [--list]
+//! ```
+//!
+//! * `--smoke` (default) — the seeded ~1.8 k-job stream CI gates on.
+//! * `--full` — the sustained 12 k-job stream with skewed tenant weights.
+//! * `--json PATH` — also write the record as pretty JSON to `PATH`.
+//! * `--list` — print the spec that would run, without running it.
+//!
+//! The record carries two cells: `virtual` (deterministic virtual-clock
+//! replay — latency percentiles, throughput, fairness ratio, cache hit
+//! rate, all gateable by `bench_gate --experiment service_load`) and `real`
+//! (the same traffic on the real OS-thread pool, wall-clock, informational).
+//!
+//! Exit codes: 0 = every check passed, 1 = a service invariant failed
+//! (lost jobs, breached admission bound, starving tenant, missed
+//! concurrency floor), 2 = usage error.
+
+use aiac_bench::harness::spec::service_load_spec;
+use aiac_bench::harness::{run_specs, BenchRecord, Fidelity};
+
+struct Args {
+    fidelity: Fidelity,
+    json: Option<String>,
+    list: bool,
+}
+
+const USAGE: &str = "usage: service_load [--smoke | --full] [--json PATH] [--list]";
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        fidelity: Fidelity::Smoke,
+        json: None,
+        list: false,
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => args.fidelity = Fidelity::Smoke,
+            "--full" => args.fidelity = Fidelity::Full,
+            "--json" => {
+                args.json = Some(argv.next().ok_or("--json needs a file path")?);
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The headline metrics of each load cell, one line per metric.
+fn render(record: &BenchRecord) -> String {
+    let mut out = String::new();
+    for exp in &record.experiments {
+        out.push_str(&format!("## {}\n", exp.experiment));
+        for cell in &exp.cells {
+            out.push_str(&format!("  [{}]\n", cell.cell));
+            for (name, unit) in [
+                ("throughput_jobs_per_sec", "jobs/s"),
+                ("real_throughput_jobs_per_sec", "jobs/s"),
+                ("latency_p50_secs", "s"),
+                ("latency_p95_secs", "s"),
+                ("latency_p99_secs", "s"),
+                ("fairness_ratio", "x"),
+                ("cache_hit_rate", ""),
+                ("rejection_rate", ""),
+                ("jobs_generated", "jobs"),
+                ("jobs_completed", "jobs"),
+                ("peak_in_flight", "jobs"),
+            ] {
+                if let Some(metric) = cell.metric(name) {
+                    out.push_str(&format!(
+                        "    {:<28} {:>14.6} {unit}\n",
+                        metric.name, metric.value
+                    ));
+                }
+            }
+            for failure in &cell.check_failures {
+                out.push_str(&format!("    CHECK FAILED: {failure}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(err) => {
+            if err.is_empty() {
+                println!("{USAGE}");
+                return;
+            }
+            eprintln!("service_load: {err}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let spec = service_load_spec(args.fidelity);
+    if args.list {
+        let load = spec.service.as_ref().expect("service spec carries a load");
+        println!(
+            "{:<12} {:?}: {} jobs, {} tenants, {} workers, in-flight bound {}, \
+             tenant depth {}, quantum {}, cache {}",
+            spec.name,
+            spec.kind,
+            load.traffic.jobs,
+            load.traffic.tenant_weights.len(),
+            load.service.workers,
+            load.service.max_in_flight,
+            load.service.tenant_queue_depth,
+            load.service.drr_quantum,
+            load.service.cache_capacity,
+        );
+        return;
+    }
+
+    eprintln!("service_load: {} suite", args.fidelity.suite());
+    let record = run_specs(
+        std::slice::from_ref(&spec),
+        args.fidelity.suite(),
+        args.fidelity == Fidelity::Full,
+    );
+    print!("{}", render(&record));
+
+    if let Some(path) = &args.json {
+        if let Err(err) = std::fs::write(path, record.to_json_pretty() + "\n") {
+            eprintln!("service_load: cannot write {path}: {err}");
+            std::process::exit(2);
+        }
+        eprintln!("service_load: wrote {path}");
+    }
+
+    if !record.all_checks_passed() {
+        for failure in record.check_failures() {
+            eprintln!("service_load: check failed: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("ok: the service survived its load with every invariant intact");
+}

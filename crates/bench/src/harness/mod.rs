@@ -14,12 +14,12 @@
 //! * [`spec`] — declarative [`spec::ExperimentSpec`]s: problem, platform,
 //!   environment-profile sweep, placement sweep, warmup/repeat counts and
 //!   the invariants ([`spec::Check`]) a run must satisfy. The standing
-//!   registry holds the four ported experiments (`table1`, `table2`,
-//!   `scale_pool`, `oversub`).
+//!   registry holds the five standing experiments (`table1`, `table2`,
+//!   `scale_pool`, `oversub`, `service_load`).
 //! * [`runner`] — executes specs against the simulated (virtual-time) and
 //!   threaded (real worker-pool) runtimes and collects the results.
-//! * [`stats`] — min/median/p95 reduction of repeated wall-clock samples,
-//!   with NaN rejection.
+//! * [`stats`] — min/median/p95/p99 reduction of repeated wall-clock and
+//!   latency samples, with NaN rejection.
 //! * [`record`] — the versioned, machine-readable [`record::BenchRecord`]
 //!   schema; deterministic simulated-clock metrics are flagged as gateable.
 //! * [`baseline`] — compares a candidate record against the committed

@@ -19,6 +19,7 @@ use aiac_core::runtime::threaded::ThreadedRuntime;
 use aiac_envs::profile::EnvProfile;
 use aiac_envs::threads::ProblemKind;
 use aiac_netsim::topology::GridTopology;
+use aiac_service::{run_real_load, run_virtual, LoadReport};
 use aiac_solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
 
 use crate::harness::record::{BenchRecord, CellRecord, ExperimentRecord, MetricSample};
@@ -110,6 +111,7 @@ fn wall_samples(summary: &Summary) -> Vec<MetricSample> {
         MetricSample::wall("wall_min_secs", summary.min),
         MetricSample::wall("wall_median_secs", summary.median),
         MetricSample::wall("wall_p95_secs", summary.p95),
+        MetricSample::wall("wall_p99_secs", summary.p99),
     ]
 }
 
@@ -361,11 +363,17 @@ fn apply_cell_checks(outcome: &mut CellOutcome, kernel: &Kernel, spec: &Experime
                     ));
                 }
             }
-            // Cross-cell checks, evaluated by the experiment drivers.
+            // Cross-cell checks, evaluated by the experiment drivers — and
+            // the service-load checks, evaluated on LoadReports rather than
+            // RunReports by `apply_service_checks`.
             Check::AsyncBeatsSync
             | Check::SpeedWeightedBeatsRoundRobin
             | Check::StealsObserved
-            | Check::StealingNotSlower { .. } => {}
+            | Check::StealingNotSlower { .. }
+            | Check::NoLostJobs
+            | Check::InFlightBounded
+            | Check::MinPeakInFlight { .. }
+            | Check::FairnessBounded { .. } => {}
         }
     }
     outcome.record.check_failures.extend(failures);
@@ -637,6 +645,133 @@ fn run_placement_sweep(spec: &ExperimentSpec) -> ExperimentRecord {
     }
 }
 
+/// Evaluates the service-load checks against a [`LoadReport`] (virtual or
+/// real — both cells carry the same invariants).
+fn apply_service_checks(cell: &mut CellRecord, report: &LoadReport, spec: &ExperimentSpec) {
+    for check in &spec.checks {
+        match check {
+            Check::NoLostJobs if report.lost() != 0 => {
+                cell.check_failures.push(format!(
+                    "{} of {} jobs were neither completed nor rejected",
+                    report.lost(),
+                    report.generated
+                ));
+            }
+            Check::InFlightBounded if report.peak_in_flight > report.in_flight_bound => {
+                cell.check_failures.push(format!(
+                    "peak in-flight {} breached the admission bound {}",
+                    report.peak_in_flight, report.in_flight_bound
+                ));
+            }
+            Check::MinPeakInFlight { jobs } if report.peak_in_flight < *jobs => {
+                cell.check_failures.push(format!(
+                    "peak in-flight {} never reached the required {jobs} \
+                     concurrent jobs",
+                    report.peak_in_flight
+                ));
+            }
+            Check::FairnessBounded { max_ratio } if report.fairness_ratio() > *max_ratio => {
+                cell.check_failures.push(format!(
+                    "per-tenant goodput ratio {:.2} exceeds {max_ratio:.2} \
+                     (a tenant is starving)",
+                    report.fairness_ratio()
+                ));
+            }
+            // Satisfied service checks and solver-run checks (the latter
+            // are evaluated by `apply_cell_checks`).
+            _ => {}
+        }
+    }
+}
+
+/// Latency percentiles of a load report as metric samples. Virtual-clock
+/// latencies are deterministic and gateable; wall-clock ones are not.
+fn latency_samples(report: &LoadReport, deterministic: bool) -> Vec<MetricSample> {
+    let Ok(summary) = Summary::from_samples(&report.latencies) else {
+        return Vec::new();
+    };
+    let sample = |name: &str, value: f64| {
+        if deterministic {
+            MetricSample::gauge(name, value)
+        } else {
+            MetricSample::wall(name, value)
+        }
+    };
+    vec![
+        sample("latency_p50_secs", summary.median),
+        sample("latency_p95_secs", summary.p95),
+        sample("latency_p99_secs", summary.p99),
+    ]
+}
+
+/// The bookkeeping counters every load cell reports (never gated).
+fn service_info_samples(report: &LoadReport) -> Vec<MetricSample> {
+    vec![
+        MetricSample::info("jobs_generated", report.generated as f64),
+        MetricSample::info("jobs_completed", report.completed as f64),
+        MetricSample::info("jobs_rejected", report.rejected as f64),
+        MetricSample::info("peak_in_flight", report.peak_in_flight as f64),
+        MetricSample::info("cache_hits", report.cache_hits as f64),
+        MetricSample::info("cache_misses", report.cache_misses as f64),
+    ]
+}
+
+/// The `service_load` driver: replays the spec's traffic twice — once on
+/// the virtual clock (deterministic, gateable latency/throughput/fairness/
+/// cache metrics) and once on the real worker pool (wall-clock,
+/// informational) — and verifies the service invariants on both cells.
+fn run_service_load(spec: &ExperimentSpec) -> ExperimentRecord {
+    let load = spec
+        .service
+        .as_ref()
+        .expect("service-load specs carry a LoadSpec");
+    let profile = spec
+        .profiles
+        .first()
+        .copied()
+        .unwrap_or(EnvProfile::LocalThreads);
+
+    let virt = run_virtual(load);
+    let mut metrics = vec![
+        MetricSample::gauge("throughput_jobs_per_sec", virt.throughput()).higher_is_better(),
+        MetricSample::gauge("fairness_ratio", virt.fairness_ratio()),
+        MetricSample::gauge("cache_hit_rate", virt.cache_hit_rate()).higher_is_better(),
+        MetricSample::gauge("rejection_rate", virt.rejection_rate()),
+        MetricSample::gauge("makespan_secs", virt.makespan_secs),
+    ];
+    metrics.extend(latency_samples(&virt, true));
+    metrics.extend(service_info_samples(&virt));
+    let mut virtual_cell = CellRecord {
+        cell: "virtual".to_string(),
+        env: profile.slug().to_string(),
+        blocks: spec.problem.blocks(),
+        metrics,
+        check_failures: Vec::new(),
+    };
+    apply_service_checks(&mut virtual_cell, &virt, spec);
+
+    let real = run_real_load(&load.service, &load.traffic);
+    let mut metrics = vec![
+        MetricSample::wall("real_throughput_jobs_per_sec", real.throughput()).higher_is_better(),
+        MetricSample::wall("real_makespan_secs", real.makespan_secs),
+    ];
+    metrics.extend(latency_samples(&real, false));
+    metrics.extend(service_info_samples(&real));
+    let mut real_cell = CellRecord {
+        cell: "real".to_string(),
+        env: profile.slug().to_string(),
+        blocks: spec.problem.blocks(),
+        metrics,
+        check_failures: Vec::new(),
+    };
+    apply_service_checks(&mut real_cell, &real, spec);
+
+    ExperimentRecord {
+        experiment: spec.name.clone(),
+        cells: vec![virtual_cell, real_cell],
+    }
+}
+
 /// Executes one spec.
 pub fn run_spec(spec: &ExperimentSpec) -> ExperimentRecord {
     match spec.kind {
@@ -644,6 +779,7 @@ pub fn run_spec(spec: &ExperimentSpec) -> ExperimentRecord {
         ExperimentKind::EnvComparison => run_env_comparison(spec),
         ExperimentKind::PoolScale => run_pool_scale(spec),
         ExperimentKind::PlacementSweep => run_placement_sweep(spec),
+        ExperimentKind::ServiceLoad => run_service_load(spec),
     }
 }
 
@@ -751,6 +887,61 @@ mod tests {
         assert!(record.cell("16-blocks/speed-weighted").is_some());
         for cell in &record.cells {
             assert!(cell.check_failures.is_empty(), "{:?}", cell.check_failures);
+        }
+    }
+
+    #[test]
+    fn service_load_produces_gateable_virtual_metrics_and_passes_its_checks() {
+        let record = run_spec(&spec::service_load_spec(Fidelity::Smoke));
+        assert_eq!(record.experiment, "service_load");
+        assert_eq!(record.cells.len(), 2);
+
+        let virt = record.cell("virtual").unwrap();
+        assert!(
+            virt.check_failures.is_empty(),
+            "virtual cell: {:?}",
+            virt.check_failures
+        );
+        for name in [
+            "throughput_jobs_per_sec",
+            "latency_p50_secs",
+            "latency_p95_secs",
+            "latency_p99_secs",
+            "fairness_ratio",
+            "cache_hit_rate",
+            "rejection_rate",
+        ] {
+            let sample = virt.metric(name).unwrap();
+            assert!(sample.deterministic, "{name} must be gateable");
+            assert!(sample.value.is_finite(), "{name} must be finite");
+        }
+        assert!(virt.metric("peak_in_flight").unwrap().value >= 1_000.0);
+
+        let real = record.cell("real").unwrap();
+        assert!(
+            real.check_failures.is_empty(),
+            "real cell: {:?}",
+            real.check_failures
+        );
+        assert!(!real.metric("latency_p99_secs").unwrap().deterministic);
+        assert!(real.metric("peak_in_flight").unwrap().value >= 1_000.0);
+        assert_eq!(
+            real.metric("jobs_generated").unwrap().value,
+            virt.metric("jobs_generated").unwrap().value,
+            "both cells replay the same stream"
+        );
+    }
+
+    #[test]
+    fn service_load_virtual_cell_is_reproducible() {
+        let s = spec::service_load_spec(Fidelity::Smoke);
+        let a = run_spec(&s);
+        let b = run_spec(&s);
+        let (va, vb) = (a.cell("virtual").unwrap(), b.cell("virtual").unwrap());
+        for (ma, mb) in va.metrics.iter().zip(&vb.metrics) {
+            if ma.deterministic {
+                assert_eq!(ma.value, mb.value, "{}", ma.name);
+            }
         }
     }
 

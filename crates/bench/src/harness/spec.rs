@@ -9,14 +9,16 @@
 //! and scale binaries are thin wrappers that build one spec and print its
 //! record.
 //!
-//! [`registry`] returns the four standing experiments — the ports of the
-//! historical `table1`, `table2`, `scale_pool` and `oversub` binaries — at
-//! either [`Fidelity::Smoke`] (seconds, run on every PR by the CI gate) or
+//! [`registry`] returns the five standing experiments — the ports of the
+//! historical `table1`, `table2`, `scale_pool` and `oversub` binaries plus
+//! the `service_load` multi-tenant load test — at either
+//! [`Fidelity::Smoke`] (seconds, run on every PR by the CI gate) or
 //! [`Fidelity::Full`] (the binaries' historical default sizes).
 
 use crate::scale::ExperimentScale;
 use aiac_core::placement::PlacementPolicy;
 use aiac_envs::profile::EnvProfile;
+use aiac_service::{LoadSpec, ServiceConfig, TrafficSpec};
 use serde::{Deserialize, Serialize};
 
 /// Which benchmark problem an experiment runs.
@@ -143,6 +145,10 @@ pub enum ExperimentKind {
     /// Block-count × placement-policy sweep on the simulated platform
     /// (the `oversub` experiment).
     PlacementSweep,
+    /// The multi-tenant service load test: one deterministic virtual-clock
+    /// cell (gateable metrics) and one real-pool cell (wall-clock metrics),
+    /// both replaying the spec's traffic stream.
+    ServiceLoad,
 }
 
 /// An invariant the runner verifies on a cell's results. Failures land in
@@ -191,6 +197,24 @@ pub enum Check {
         /// Allowed relative slowdown (0.5 = up to 1.5× the FIFO time).
         tolerance: f64,
     },
+    /// A service load cell must account for every generated job: completed
+    /// plus rejected must equal generated (nothing silently dropped).
+    NoLostJobs,
+    /// A service load cell's peak in-flight count must respect the
+    /// configured admission bound.
+    InFlightBounded,
+    /// A service load cell must actually reach `jobs` concurrent in-flight
+    /// jobs — the "thousands of concurrent solves" claim, asserted.
+    MinPeakInFlight {
+        /// Minimum peak in-flight jobs the cell must observe.
+        jobs: u64,
+    },
+    /// A service load cell's max/min per-tenant goodput ratio must stay
+    /// under `max_ratio` (no tenant starves).
+    FairnessBounded {
+        /// Largest allowed goodput ratio.
+        max_ratio: f64,
+    },
 }
 
 /// A declarative description of one experiment.
@@ -224,6 +248,8 @@ pub struct ExperimentSpec {
     pub repeats: usize,
     /// Invariants to verify.
     pub checks: Vec<Check>,
+    /// The service load to replay ([`ExperimentKind::ServiceLoad`] only).
+    pub service: Option<LoadSpec>,
 }
 
 /// Which rendition of the standing registry to build.
@@ -310,6 +336,7 @@ pub fn table1_spec(scale: &ExperimentScale) -> ExperimentSpec {
         warmup: 0,
         repeats: 1,
         checks: Vec::new(),
+        service: None,
     }
 }
 
@@ -335,6 +362,7 @@ pub fn table2_spec(n: usize, blocks: usize, scale: &ExperimentScale) -> Experime
             Check::AsyncBeatsSync,
             Check::SolutionError { tolerance: 1e-4 },
         ],
+        service: None,
     }
 }
 
@@ -370,6 +398,7 @@ pub fn scale_pool_spec(blocks: usize, workers: Option<usize>) -> ExperimentSpec 
             Check::StealsObserved,
             Check::StealingNotSlower { tolerance: 0.5 },
         ],
+        service: None,
     }
 }
 
@@ -396,18 +425,72 @@ pub fn oversub_spec(block_counts: &[usize]) -> ExperimentSpec {
         warmup: 0,
         repeats: 1,
         checks: vec![Check::Converged, Check::SpeedWeightedBeatsRoundRobin],
+        service: None,
     }
 }
 
-/// The four standing experiments at the requested fidelity.
+/// The `service_load` spec: thousands of concurrent jobs from weighted
+/// tenants through admission, DRR fairness and the result cache over the
+/// shared pool. The runner produces a deterministic virtual-clock cell
+/// (latency percentiles, throughput, fairness ratio, hit rate — all
+/// gateable) and a real-pool cell (wall-clock, informational).
+pub fn service_load_spec(fidelity: Fidelity) -> ExperimentSpec {
+    let traffic = match fidelity {
+        Fidelity::Smoke => TrafficSpec::smoke(),
+        Fidelity::Full => TrafficSpec::sustained(),
+    };
+    // The smoke stream's tenants offer equal load, so near-equal goodput
+    // is a hard requirement. The sustained stream skews its tenant
+    // weights 8x on purpose; DRR pulls the goodput ratio well below the
+    // offered 8x, and the bound only has to catch true starvation.
+    let max_fairness_ratio = match fidelity {
+        Fidelity::Smoke => 3.0,
+        Fidelity::Full => 8.0,
+    };
+    ExperimentSpec {
+        name: "service_load".to_string(),
+        kind: ExperimentKind::ServiceLoad,
+        problem: ProblemSpec::Ring {
+            blocks: 6,
+            cost_secs: 1e-6,
+        },
+        platform: PlatformSpec::Smp,
+        profiles: vec![EnvProfile::LocalThreads],
+        placements: Vec::new(),
+        block_sweep: Vec::new(),
+        workers: None,
+        epsilon: 1e-8,
+        streak: 3,
+        warmup: 0,
+        repeats: 1,
+        checks: vec![
+            Check::NoLostJobs,
+            Check::InFlightBounded,
+            Check::MinPeakInFlight { jobs: 1_000 },
+            Check::FairnessBounded {
+                max_ratio: max_fairness_ratio,
+            },
+        ],
+        service: Some(LoadSpec {
+            service: ServiceConfig::from_profile(EnvProfile::LocalThreads),
+            traffic,
+            cache_hit_cost_secs: 1e-6,
+        }),
+    }
+}
+
+/// The five standing experiments at the requested fidelity.
 ///
 /// Smoke keeps every run in the seconds range so the CI gate stays cheap:
-/// a 1500-unknown sparse system, a 256-block pool and a 64/128-block
-/// oversubscription sweep. Full restores the historical binary defaults —
-/// except `scale_pool`, which grew to a steal-heavy 4096-block / 8-worker
-/// cell when the executor moved to per-worker deques (512 blocks per worker
-/// keeps the pool oversubscribed enough that the steal path is exercised,
-/// not just reachable).
+/// a 1500-unknown sparse system, a 256-block pool, a 64/128-block
+/// oversubscription sweep and a ~1.8 k-job service stream. Full restores
+/// the historical binary defaults — except `scale_pool`, which grew to a
+/// steal-heavy 4096-block / 8-worker cell when the executor moved to
+/// per-worker deques (512 blocks per worker keeps the pool oversubscribed
+/// enough that the steal path is exercised, not just reachable).
+///
+/// `service_load` stays last: older records indexed the first four by
+/// position, and appending preserves those offsets.
 pub fn registry(scale: &ExperimentScale, fidelity: Fidelity) -> Vec<ExperimentSpec> {
     match fidelity {
         Fidelity::Smoke => vec![
@@ -415,12 +498,14 @@ pub fn registry(scale: &ExperimentScale, fidelity: Fidelity) -> Vec<ExperimentSp
             table2_spec(1_500, 6, scale),
             scale_pool_spec(256, Some(4)),
             oversub_spec(&[64, 128]),
+            service_load_spec(Fidelity::Smoke),
         ],
         Fidelity::Full => vec![
             table1_spec(scale),
             table2_spec(scale.sparse_n, scale.sparse_blocks, scale),
             scale_pool_spec(4096, Some(8)),
             oversub_spec(&[64, 128, 256, 512, 1024]),
+            service_load_spec(Fidelity::Full),
         ],
     }
 }
@@ -430,12 +515,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_contains_the_four_ported_experiments() {
+    fn registry_contains_the_five_standing_experiments() {
         let scale = ExperimentScale::scaled();
         for fidelity in [Fidelity::Smoke, Fidelity::Full] {
             let specs = registry(&scale, fidelity);
             let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
-            assert_eq!(names, ["table1", "table2", "scale_pool", "oversub"]);
+            assert_eq!(
+                names,
+                ["table1", "table2", "scale_pool", "oversub", "service_load"]
+            );
         }
     }
 
@@ -494,6 +582,30 @@ mod tests {
             spec.repeats >= 3,
             "the wall comparison needs a min over runs"
         );
+    }
+
+    #[test]
+    fn service_load_carries_its_invariants_and_traffic() {
+        for fidelity in [Fidelity::Smoke, Fidelity::Full] {
+            let spec = service_load_spec(fidelity);
+            assert_eq!(spec.kind, ExperimentKind::ServiceLoad);
+            let load = spec.service.as_ref().expect("service load spec");
+            assert!(load.service.validate().is_ok());
+            assert!(
+                load.traffic.initial_burst > 1_000,
+                "the opening burst is what guarantees MinPeakInFlight"
+            );
+            assert!(spec
+                .checks
+                .iter()
+                .any(|c| matches!(c, Check::MinPeakInFlight { jobs } if *jobs >= 1_000)));
+            assert!(spec.checks.contains(&Check::NoLostJobs));
+            assert!(spec.checks.contains(&Check::InFlightBounded));
+            assert!(spec
+                .checks
+                .iter()
+                .any(|c| matches!(c, Check::FairnessBounded { max_ratio } if *max_ratio > 1.0)));
+        }
     }
 
     #[test]

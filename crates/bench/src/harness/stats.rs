@@ -46,6 +46,8 @@ pub struct Summary {
     pub median: f64,
     /// 95th percentile (linear interpolation between order statistics).
     pub p95: f64,
+    /// 99th percentile (linear interpolation between order statistics).
+    pub p99: f64,
     /// Largest sample.
     pub max: f64,
     /// Arithmetic mean.
@@ -73,6 +75,7 @@ impl Summary {
             min: sorted[0],
             median: percentile(&sorted, 0.5),
             p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
             max: sorted[sorted.len() - 1],
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
         })
@@ -116,6 +119,7 @@ mod tests {
         assert_eq!(s.min, 3.5);
         assert_eq!(s.median, 3.5);
         assert_eq!(s.p95, 3.5);
+        assert_eq!(s.p99, 3.5);
         assert_eq!(s.max, 3.5);
         assert_eq!(s.mean, 3.5);
     }
@@ -130,6 +134,28 @@ mod tests {
         // p95 interpolates between the 3rd and 4th order statistics:
         // rank = 0.95 * 3 = 2.85 → 3.0 * 0.15 + 4.0 * 0.85
         assert!((s.p95 - 3.85).abs() < 1e-12);
+        // p99 sits closer to the max: rank = 0.99 * 3 = 2.97
+        assert!((s.p99 - 3.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_dominates_p95_and_is_bounded_by_the_max() {
+        let samples: Vec<f64> = (1..=200).map(f64::from).collect();
+        let s = Summary::from_samples(&samples).unwrap();
+        assert!(s.p99 >= s.p95, "p99 ({}) below p95 ({})", s.p99, s.p95);
+        assert!(s.p99 <= s.max);
+        // rank = 0.99 * 199 = 197.01 → between the 198th and 199th samples.
+        assert!((s.p99 - 198.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_survives_nan_rejection_even_when_nan_is_last() {
+        // A NaN anywhere — including in the tail that p99 would read — is
+        // rejected before sorting, never silently ordered.
+        assert_eq!(
+            Summary::from_samples(&[1.0, 2.0, 3.0, f64::NAN]),
+            Err(StatsError::NaNSample { index: 3 })
+        );
     }
 
     #[test]

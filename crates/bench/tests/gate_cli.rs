@@ -55,8 +55,8 @@ fn committed_baseline_covers_all_experiments_and_profiles() {
         .collect();
     assert_eq!(
         names,
-        ["table1", "table2", "scale_pool", "oversub"],
-        "the four ported experiments must all be present"
+        ["table1", "table2", "scale_pool", "oversub", "service_load"],
+        "the five standing experiments must all be present"
     );
 
     let envs: Vec<String> = baseline
@@ -155,6 +155,47 @@ fn gate_binary_exits_2_on_usage_and_io_errors() {
 }
 
 #[test]
+fn gate_binary_filters_to_a_single_experiment() {
+    let gate = env!("CARGO_BIN_EXE_bench_gate");
+    let baseline_text = std::fs::read_to_string(baseline_path()).expect("baseline is committed");
+    let baseline = TempJson::write("filter-baseline", &baseline_text);
+
+    // An identical candidate passes when the comparison is narrowed to the
+    // service experiment alone.
+    let output = Command::new(gate)
+        .args([
+            "--experiment",
+            "service_load",
+            baseline.path(),
+            baseline.path(),
+        ])
+        .output()
+        .expect("bench_gate runs");
+    assert!(
+        output.status.success(),
+        "filtered identical records must pass: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // A name absent from the baseline is a usage error, not a silent pass.
+    let output = Command::new(gate)
+        .args([
+            "--experiment",
+            "no-such-experiment",
+            baseline.path(),
+            baseline.path(),
+        ])
+        .output()
+        .expect("bench_gate runs");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "an unknown experiment filter must exit 2: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
 fn bench_binaries_exit_2_uniformly_on_malformed_arguments() {
     for (bin, args) in [
         (env!("CARGO_BIN_EXE_bench_all"), vec!["--bogus"]),
@@ -165,6 +206,8 @@ fn bench_binaries_exit_2_uniformly_on_malformed_arguments() {
         (env!("CARGO_BIN_EXE_scale_pool"), vec!["8", "2", "extra"]),
         (env!("CARGO_BIN_EXE_oversub"), vec!["not-a-number"]),
         (env!("CARGO_BIN_EXE_oversub"), vec!["0"]),
+        (env!("CARGO_BIN_EXE_service_load"), vec!["--bogus"]),
+        (env!("CARGO_BIN_EXE_service_load"), vec!["--json"]),
     ] {
         let output = Command::new(bin).args(&args).output().expect("binary runs");
         assert_eq!(

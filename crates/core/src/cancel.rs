@@ -1,0 +1,95 @@
+//! Cooperative per-job cancellation.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between the party that
+//! owns a running solve (the service front end, a test harness) and the
+//! runtime executing it. The runtime polls the token at sweep granularity —
+//! a solve is a tight numeric loop, so preemption mid-sweep would buy
+//! nothing and cost a branch per block — and winds down with
+//! `premature_stop = true` in its [`crate::report::RunReport`] when it finds
+//! the flag raised.
+//!
+//! The token is a single `AtomicBool` behind an `Arc`: raising it is
+//! idempotent, observing it is wait-free, and dropping every clone releases
+//! the allocation. There is no un-cancel — a raised token stays raised for
+//! the lifetime of the job it belongs to, which keeps the protocol
+//! monotonic and race-free by construction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag for one job.
+///
+/// Clones observe the same flag. The default token starts lowered.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, lowered token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        // ord: Release so that whatever the canceller wrote before raising
+        // the flag (e.g. a reason recorded elsewhere) is visible to a
+        // runtime that Acquire-loads the flag and stops.
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` once [`CancelToken::cancel`] has been called on any
+    /// clone of this token.
+    pub fn is_cancelled(&self) -> bool {
+        // ord: Acquire pairs with the Release store in `cancel` so the
+        // cancellation edge orders the canceller's preceding writes before
+        // the runtime's wind-down.
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_lowered_and_raises_idempotently() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        assert!(!observer.is_cancelled());
+        token.cancel();
+        assert!(observer.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn raise_is_visible_across_threads() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        let handle = std::thread::spawn(move || {
+            while !observer.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(handle.join().unwrap());
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod cancel;
 pub mod config;
 pub mod convergence;
 pub mod depgraph;
@@ -51,6 +52,7 @@ pub mod placement;
 pub mod report;
 pub mod runtime;
 
+pub use cancel::CancelToken;
 pub use config::{ConfigError, ExecutionMode, RunConfig, StealPolicy};
 pub use kernel::{BlockUpdate, IterativeKernel};
 pub use placement::{Placement, PlacementPolicy};

@@ -8,6 +8,7 @@
 //! asynchronous back-ends must agree with.
 
 use crate::block::BlockState;
+use crate::cancel::CancelToken;
 use crate::config::{ExecutionMode, RunConfig};
 use crate::kernel::{IterativeKernel, Payload};
 use crate::report::RunReport;
@@ -31,6 +32,22 @@ impl SequentialRuntime {
     /// is by construction synchronous — but the threshold and iteration limit
     /// are honoured.
     pub fn run(&self, kernel: &dyn IterativeKernel, config: &RunConfig) -> RunReport {
+        self.run_with_cancel(kernel, config, None)
+    }
+
+    /// Runs the kernel like [`SequentialRuntime::run`], additionally polling
+    /// `cancel` between sweeps.
+    ///
+    /// A raised token stops the loop at the next sweep boundary; the report
+    /// then carries `converged = false` and `premature_stop = true`, with the
+    /// partial iterate as its solution. Passing `None` is identical to
+    /// [`SequentialRuntime::run`].
+    pub fn run_with_cancel(
+        &self,
+        kernel: &dyn IterativeKernel,
+        config: &RunConfig,
+        cancel: Option<&CancelToken>,
+    ) -> RunReport {
         config.validate();
         let started = Instant::now();
         let m = kernel.num_blocks();
@@ -38,9 +55,14 @@ impl SequentialRuntime {
 
         let mut iterations = 0u64;
         let mut converged = false;
+        let mut cancelled = false;
         let mut worst_residual = f64::INFINITY;
 
         while iterations < config.max_iterations as u64 {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                cancelled = true;
+                break;
+            }
             // Jacobi sweep: every block reads the previous iteration's values,
             // so updates within one sweep do not see each other. The snapshot
             // is a refcount bump per block, not a copy.
@@ -81,7 +103,7 @@ impl SequentialRuntime {
             queue_wait_events: 0,
             cpu_queue_secs: 0.0,
             converged,
-            premature_stop: false,
+            premature_stop: cancelled,
             solution: kernel.assemble(&values),
             final_residual: worst_residual,
         }
@@ -130,6 +152,32 @@ mod tests {
         let report = SequentialRuntime::new().run(&kernel, &RunConfig::synchronous(1e-12));
         assert!(report.converged);
         assert!((report.solution[0] - kernel.fixed_point()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_raised_cancel_token_stops_before_the_first_sweep() {
+        let kernel = RingContraction::new(4);
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let report = SequentialRuntime::new().run_with_cancel(
+            &kernel,
+            &RunConfig::synchronous(1e-12),
+            Some(&token),
+        );
+        assert!(!report.converged);
+        assert!(report.premature_stop);
+        assert_eq!(report.iterations, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn absent_token_matches_plain_run() {
+        let kernel = RingContraction::new(5);
+        let config = RunConfig::synchronous(1e-10);
+        let plain = SequentialRuntime::new().run(&kernel, &config);
+        let with_none = SequentialRuntime::new().run_with_cancel(&kernel, &config, None);
+        assert_eq!(plain.iterations, with_none.iterations);
+        assert_eq!(plain.solution, with_none.solution);
+        assert!(!with_none.premature_stop);
     }
 
     #[test]

@@ -102,6 +102,57 @@ impl EnvProfile {
     pub fn is_synchronous(self) -> bool {
         self == EnvProfile::SyncMpi
     }
+
+    /// Default solver-service sizing for this profile.
+    ///
+    /// The service front end (`aiac-service`) schedules many concurrent
+    /// solves over one shared pool; how much concurrency an environment can
+    /// absorb differs the same way the paper's environments differ. The
+    /// synchronous baseline admits little (every job's supersteps convoy
+    /// behind the slowest), the asynchronous middleware stacks admit more,
+    /// and the shared-memory profile — the one the real service runs on —
+    /// admits the most.
+    pub fn service_knobs(self) -> ServiceKnobs {
+        match self {
+            EnvProfile::SyncMpi => ServiceKnobs {
+                workers: 4,
+                max_in_flight: 256,
+                tenant_queue_depth: 64,
+                drr_quantum: 1,
+            },
+            EnvProfile::AsyncPm2 | EnvProfile::AsyncMpiMad | EnvProfile::AsyncOmniOrb => {
+                ServiceKnobs {
+                    workers: 8,
+                    max_in_flight: 1024,
+                    tenant_queue_depth: 256,
+                    drr_quantum: 2,
+                }
+            }
+            EnvProfile::LocalThreads => ServiceKnobs {
+                workers: 8,
+                max_in_flight: 4096,
+                tenant_queue_depth: 1024,
+                drr_quantum: 4,
+            },
+        }
+    }
+}
+
+/// Per-profile sizing knobs for the multi-tenant solver service.
+///
+/// Consumed by `aiac-service` when building a service configuration for a
+/// given [`EnvProfile`]; every field maps one-to-one onto a field of the
+/// service's own config type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceKnobs {
+    /// Workers in the shared solve pool.
+    pub workers: usize,
+    /// Global bound on admitted-but-unfinished jobs.
+    pub max_in_flight: usize,
+    /// Bound on each tenant's pending queue.
+    pub tenant_queue_depth: usize,
+    /// Deficit-round-robin quantum (jobs per tenant per dispatcher round).
+    pub drr_quantum: usize,
 }
 
 impl std::fmt::Display for EnvProfile {
@@ -172,6 +223,24 @@ mod tests {
             assert_eq!(p.label().parse::<EnvProfile>().unwrap(), p);
         }
         assert!("corba".parse::<EnvProfile>().is_err());
+    }
+
+    #[test]
+    fn service_knobs_scale_up_with_asynchrony() {
+        let sync = EnvProfile::SyncMpi.service_knobs();
+        let grid = EnvProfile::AsyncPm2.service_knobs();
+        let smp = EnvProfile::LocalThreads.service_knobs();
+        assert!(sync.max_in_flight < grid.max_in_flight);
+        assert!(grid.max_in_flight < smp.max_in_flight);
+        assert!(sync.tenant_queue_depth < smp.tenant_queue_depth);
+        for p in EnvProfile::ALL {
+            let k = p.service_knobs();
+            assert!(k.workers > 0 && k.drr_quantum > 0, "{p}: degenerate knobs");
+            assert!(
+                k.tenant_queue_depth <= k.max_in_flight,
+                "{p}: one tenant's queue cannot exceed the global bound"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Structural result cache.
+//!
+//! Two jobs whose problems are structurally identical and whose tolerances
+//! are bit-equal produce the same solve, so the service memoises outcomes
+//! under [`job_key`] — an FNV-1a hash of the problem's structural fields
+//! and the tolerance bits. The cache is bounded (FIFO eviction) and counts
+//! hits and misses so the load reports can gate on hit rate.
+//!
+//! The cache itself is a plain `&mut self` structure; the real service
+//! wraps it in a `Mutex`, the virtual-clock simulation owns it directly.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::job::ServiceProblem;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The structural cache key of a (problem, tolerance) pair.
+///
+/// Equal keys ⇒ the problems build identical kernels and run to the same
+/// tolerance, so a cached outcome is exact, not approximate.
+pub fn job_key(problem: &ServiceProblem, epsilon: f64) -> u64 {
+    let mut hash = FNV_OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for field in problem.structural_fields() {
+        mix(field);
+    }
+    mix(epsilon.to_bits());
+    hash
+}
+
+/// The memoised part of a solve — everything a [`crate::job::JobResult`]
+/// needs except the identity and timing of the particular job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedSolve {
+    /// Whether the solve reached its tolerance.
+    pub converged: bool,
+    /// Sweeps the original solve ran.
+    pub sweeps: u64,
+    /// Final residual of the original solve.
+    pub final_residual: f64,
+    /// Deterministic virtual duration of the original solve.
+    pub virtual_cost_secs: f64,
+    /// The solution vector.
+    pub solution: Vec<f64>,
+}
+
+/// A bounded FIFO-evicting map from [`job_key`] to [`CachedSolve`], with
+/// hit/miss counters.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<u64, CachedSolve>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` distinct keys. A zero
+    /// capacity is a legal "cache disabled" configuration: every lookup
+    /// misses and inserts are dropped.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks a key up, counting the outcome. Hits clone the stored solve so
+    /// the caller owns its copy outside any lock.
+    pub fn lookup(&mut self, key: u64) -> Option<CachedSolve> {
+        match self.map.get(&key) {
+            Some(found) => {
+                self.hits += 1;
+                Some(found.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a solve under `key`, evicting the oldest entry at capacity.
+    /// Re-inserting an existing key refreshes the value without growing.
+    pub fn insert(&mut self, key: u64, solve: CachedSolve) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key, solve).is_some() {
+            return;
+        }
+        self.order.push_back(key);
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+        }
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit fraction over all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_stub(tag: u64) -> CachedSolve {
+        CachedSolve {
+            converged: true,
+            sweeps: tag,
+            final_residual: 1e-9,
+            virtual_cost_secs: tag as f64,
+            solution: vec![tag as f64],
+        }
+    }
+
+    #[test]
+    fn keys_separate_problems_and_tolerances() {
+        let ring = ServiceProblem::Ring { blocks: 6 };
+        let other_ring = ServiceProblem::Ring { blocks: 7 };
+        let sparse = ServiceProblem::SparseLinear { n: 6, blocks: 6 };
+        assert_ne!(job_key(&ring, 1e-6), job_key(&other_ring, 1e-6));
+        assert_ne!(job_key(&ring, 1e-6), job_key(&sparse, 1e-6));
+        assert_ne!(job_key(&ring, 1e-6), job_key(&ring, 1e-7));
+        assert_eq!(job_key(&ring, 1e-6), job_key(&ring, 1e-6));
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut cache = ResultCache::new(4);
+        assert!(cache.lookup(1).is_none());
+        cache.insert(1, solve_stub(1));
+        assert_eq!(cache.lookup(1).unwrap().sweeps, 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_the_oldest_key_first() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, solve_stub(1));
+        cache.insert(2, solve_stub(2));
+        cache.insert(3, solve_stub(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1).is_none(), "1 was oldest and must be gone");
+        assert!(cache.lookup(2).is_some());
+        assert!(cache.lookup(3).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_without_evicting() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, solve_stub(1));
+        cache.insert(2, solve_stub(2));
+        cache.insert(1, solve_stub(10));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(1).unwrap().sweeps, 10);
+        assert!(cache.lookup(2).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(1, solve_stub(1));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(1).is_none());
+        assert_eq!(cache.misses(), 1);
+    }
+}

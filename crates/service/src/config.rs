@@ -1,0 +1,133 @@
+//! Service sizing.
+//!
+//! A [`ServiceConfig`] is the set of bounds the service enforces. Every
+//! bound exists to keep memory and latency finite under overload: the
+//! in-flight limit caps admitted work, the per-tenant depth caps any one
+//! tenant's backlog, and the cache capacity caps the memoised results.
+//! Defaults come from the environment profiles' `ServiceKnobs`, so the
+//! same experiment spec can size the service the way each of the paper's
+//! environments would.
+
+use aiac_envs::profile::EnvProfile;
+use serde::{Deserialize, Serialize};
+
+/// Default result-cache capacity (distinct (problem, tolerance) keys).
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+/// Bounds and sizing of one service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Workers in the shared solve pool.
+    pub workers: usize,
+    /// Global bound on admitted-but-unfinished jobs (queued + executing).
+    pub max_in_flight: usize,
+    /// Bound on each tenant's pending queue.
+    pub tenant_queue_depth: usize,
+    /// Deficit-round-robin quantum, in jobs per tenant per round.
+    pub drr_quantum: usize,
+    /// Result-cache capacity, in distinct structural keys.
+    pub cache_capacity: usize,
+}
+
+impl ServiceConfig {
+    /// The configuration an environment profile's knobs imply.
+    pub fn from_profile(profile: EnvProfile) -> Self {
+        let knobs = profile.service_knobs();
+        ServiceConfig {
+            workers: knobs.workers,
+            max_in_flight: knobs.max_in_flight,
+            tenant_queue_depth: knobs.tenant_queue_depth,
+            drr_quantum: knobs.drr_quantum,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+
+    /// Checks the bounds are usable.
+    ///
+    /// # Errors
+    /// A human-readable description of the first degenerate field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be > 0".into());
+        }
+        if self.max_in_flight == 0 {
+            return Err("max_in_flight must be > 0".into());
+        }
+        if self.tenant_queue_depth == 0 {
+            return Err("tenant_queue_depth must be > 0".into());
+        }
+        if self.tenant_queue_depth > self.max_in_flight {
+            return Err(format!(
+                "tenant_queue_depth {} exceeds max_in_flight {}: one tenant could \
+                 monopolise the whole admission budget",
+                self.tenant_queue_depth, self.max_in_flight
+            ));
+        }
+        if self.drr_quantum == 0 {
+            return Err("drr_quantum must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServiceConfig {
+    /// The shared-memory profile's sizing — what a real deployment on one
+    /// SMP machine runs.
+    fn default() -> Self {
+        ServiceConfig::from_profile(EnvProfile::LocalThreads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_profile_yields_a_valid_config() {
+        for p in EnvProfile::ALL {
+            let config = ServiceConfig::from_profile(p);
+            assert!(config.validate().is_ok(), "{p}: {config:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_bounds_are_rejected_with_the_field_name() {
+        let base = ServiceConfig::default();
+        let cases = [
+            (ServiceConfig { workers: 0, ..base }, "workers"),
+            (
+                ServiceConfig {
+                    max_in_flight: 0,
+                    ..base
+                },
+                "max_in_flight",
+            ),
+            (
+                ServiceConfig {
+                    drr_quantum: 0,
+                    ..base
+                },
+                "drr_quantum",
+            ),
+            (
+                ServiceConfig {
+                    tenant_queue_depth: base.max_in_flight + 1,
+                    ..base
+                },
+                "monopolise",
+            ),
+        ];
+        for (config, needle) in cases {
+            let err = config.validate().unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn configs_round_trip_through_json() {
+        let config = ServiceConfig::default();
+        let text = serde_json::to_string(&config).unwrap();
+        let back: ServiceConfig = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, config);
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`core`] — the AIAC runtime (asynchronous iterations, convergence
 //!   detection, threaded and simulated back-ends);
 //! * [`solvers`] — the two benchmark problems of the paper (banded sparse
-//!   linear systems and the 2-species advection–diffusion chemical problem).
+//!   linear systems and the 2-species advection–diffusion chemical problem);
+//! * [`service`] — the multi-tenant solver service (tenant queues, DRR
+//!   fairness, admission control, result caching) over the shared pool.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -22,6 +24,7 @@ pub use aiac_core as core;
 pub use aiac_envs as envs;
 pub use aiac_linalg as linalg;
 pub use aiac_netsim as netsim;
+pub use aiac_service as service;
 pub use aiac_solvers as solvers;
 
 /// Commonly used items, importable with `use aiac::prelude::*`.
@@ -33,5 +36,6 @@ pub mod prelude {
     pub use aiac_envs::env::EnvKind;
     pub use aiac_linalg::{BandedSpec, CsrMatrix, Partition};
     pub use aiac_netsim::topology::GridTopology;
+    pub use aiac_service::{JobSpec, ServiceConfig, SolverService};
     pub use aiac_solvers::sparse_linear::SparseLinearProblem;
 }

@@ -27,12 +27,18 @@
 //! * **R6 `atomics-via-facade`** — the data-plane files never name
 //!   `std::sync::atomic` directly; they import through `runtime::sync` so
 //!   the bounded model checker can instrument them under `--cfg aiac_check`.
+//! * **R7 `no-unwrap-on-queue-paths`** — non-test code in
+//!   `crates/service/src` never calls `.unwrap()` / `.expect(...)` on a line
+//!   that touches a job-queue send/receive path (send, recv, enqueue,
+//!   dequeue, submit, push_back, pop_front): admission and delivery failures
+//!   must propagate as typed backpressure errors, not panics.
 //!
 //! `cargo xtask analyze --self-test` seeds one bug per class into a scratch
 //! copy of the tree — a weakened memory ordering, a dropped reclamation, a
 //! lost-element deque edit, an unjustified copy, a stray `unsafe`, a deleted
-//! annotation — and asserts the matching layer (model checker or lint)
-//! catches each one, then restores the copy and asserts it is green again.
+//! annotation, a panicking queue path — and asserts the matching layer
+//! (model checker or lint) catches each one, then restores the copy and
+//! asserts it is green again.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -47,7 +53,7 @@ const UNSAFE_BLOCK_PIN: usize = 4;
 /// Pinned number of non-test `Ordering::` sites across `crates/core/src`.
 /// Adding or removing an atomic-ordering decision must touch this constant,
 /// making every such change visible in review.
-const ORDERING_SITE_PIN: usize = 71;
+const ORDERING_SITE_PIN: usize = 73;
 
 /// Files whose atomics are the model-checked data plane: silent copies and
 /// direct `std::sync::atomic` imports are forbidden here.
@@ -59,6 +65,7 @@ const DATA_PLANE: [&str; 3] = [
 
 const MAILBOX: &str = "crates/core/src/runtime/mailbox.rs";
 const CORE_SRC: &str = "crates/core/src";
+const SERVICE_SRC: &str = "crates/service/src";
 
 pub fn run(args: &[String]) -> i32 {
     let mut self_test = false;
@@ -387,6 +394,15 @@ fn lint_tree(root: &Path) -> Result<Vec<Violation>, String> {
     rule_no_sleep_no_blind_spin(&views, &mut violations);
     rule_no_silent_copies(&views, &mut violations);
     rule_atomics_via_facade(&views, &mut violations);
+
+    // The service crate gets its own view map: feeding it into `views` would
+    // perturb the core-only unsafe and ordering pins of R1/R2.
+    let mut service_views = BTreeMap::new();
+    for rel in rust_files(root, SERVICE_SRC)? {
+        let view = FileView::load(root, &rel)?;
+        service_views.insert(rel, view);
+    }
+    rule_no_unwrap_on_queue_paths(&service_views, &mut violations);
     Ok(violations)
 }
 
@@ -578,6 +594,45 @@ fn rule_atomics_via_facade(views: &BTreeMap<String, FileView>, out: &mut Vec<Vio
     }
 }
 
+/// R7: the service's job-queue send/receive paths never panic on failure.
+/// A full tenant queue, a closed results channel or a saturated pool are
+/// expected conditions under load; they must surface as typed backpressure
+/// (`AdmissionError`), never as `.unwrap()` / `.expect(...)`.
+fn rule_no_unwrap_on_queue_paths(views: &BTreeMap<String, FileView>, out: &mut Vec<Violation>) {
+    const QUEUE_TOKENS: [&str; 7] = [
+        "send",
+        "recv",
+        "enqueue",
+        "dequeue",
+        "submit",
+        "push_back",
+        "pop_front",
+    ];
+    for (rel, view) in views {
+        for (i, line) in view.code.iter().enumerate() {
+            if view.is_test(i) {
+                continue;
+            }
+            if !line.contains(".unwrap()") && !line.contains(".expect(") {
+                continue;
+            }
+            if QUEUE_TOKENS
+                .iter()
+                .any(|t| !token_sites(line, t).is_empty())
+            {
+                out.push(Violation {
+                    file: rel.clone(),
+                    line: i + 1,
+                    rule: "R7",
+                    msg: "`.unwrap()`/`.expect()` on a job-queue send/recv path \
+                          (propagate a typed backpressure error instead)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Mutation self-test
 // ---------------------------------------------------------------------------
@@ -654,6 +709,13 @@ fn mutations() -> Vec<Mutation> {
             find: "// ord: stat counter — publish count is telemetry only\n",
             replace: "",
             catcher: Catcher::Lint("R2"),
+        },
+        Mutation {
+            name: "M7 panicking-queue-path (service result delivery unwraps the send)",
+            file: "crates/service/src/service.rs",
+            find: "let _ = self.results_tx.send(result);",
+            replace: "self.results_tx.send(result).unwrap();",
+            catcher: Catcher::Lint("R7"),
         },
     ]
 }
