@@ -1,28 +1,34 @@
 //! Structural result cache.
 //!
-//! Two jobs whose problems are structurally identical and whose tolerances
-//! are bit-equal produce the same solve, so the service memoises outcomes
-//! under [`job_key`] — an FNV-1a hash of the problem's structural fields
-//! and the tolerance bits. The cache is bounded (FIFO eviction) and counts
-//! hits and misses so the load reports can gate on hit rate.
+//! Two jobs whose problems are structurally identical, whose tolerances
+//! are bit-equal and whose sweep budgets match produce the same solve, so
+//! the service memoises outcomes under [`job_key`] — an FNV-1a hash of the
+//! problem's structural fields, the tolerance bits and the sweep budget.
+//! The cache is bounded (FIFO eviction) and counts hits and misses so the
+//! load reports can gate on hit rate.
 //!
 //! The cache itself is a plain `&mut self` structure; the real service
 //! wraps it in a `Mutex`, the virtual-clock simulation owns it directly.
 
 use std::collections::{HashMap, VecDeque};
 
-use crate::job::ServiceProblem;
+use crate::job::JobSpec;
 
 /// FNV-1a offset basis (64-bit).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a prime (64-bit).
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// The structural cache key of a (problem, tolerance) pair.
+/// The structural cache key of a job's (problem, tolerance, sweep budget)
+/// triple. The tenant is deliberately *not* hashed: the cache is shared,
+/// and identical solves are identical no matter who asked.
 ///
 /// Equal keys ⇒ the problems build identical kernels and run to the same
-/// tolerance, so a cached outcome is exact, not approximate.
-pub fn job_key(problem: &ServiceProblem, epsilon: f64) -> u64 {
+/// tolerance under the same budget, so a cached outcome is exact — the
+/// budget matters because a budget-truncated solve is cached unconverged,
+/// and serving that to a job with a larger budget (or a deep solve to a
+/// job with a smaller one) would misreport what *its* solve would do.
+pub fn job_key(spec: &JobSpec) -> u64 {
     let mut hash = FNV_OFFSET;
     let mut mix = |word: u64| {
         for byte in word.to_le_bytes() {
@@ -30,10 +36,11 @@ pub fn job_key(problem: &ServiceProblem, epsilon: f64) -> u64 {
             hash = hash.wrapping_mul(FNV_PRIME);
         }
     };
-    for field in problem.structural_fields() {
+    for field in spec.problem.structural_fields() {
         mix(field);
     }
-    mix(epsilon.to_bits());
+    mix(spec.epsilon.to_bits());
+    mix(spec.max_sweeps as u64);
     hash
 }
 
@@ -145,6 +152,16 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::ServiceProblem;
+
+    fn spec(problem: ServiceProblem, epsilon: f64, max_sweeps: usize) -> JobSpec {
+        JobSpec {
+            tenant: 0,
+            problem,
+            epsilon,
+            max_sweeps,
+        }
+    }
 
     fn solve_stub(tag: u64) -> CachedSolve {
         CachedSolve {
@@ -157,14 +174,29 @@ mod tests {
     }
 
     #[test]
-    fn keys_separate_problems_and_tolerances() {
+    fn keys_separate_problems_tolerances_and_budgets() {
         let ring = ServiceProblem::Ring { blocks: 6 };
         let other_ring = ServiceProblem::Ring { blocks: 7 };
         let sparse = ServiceProblem::SparseLinear { n: 6, blocks: 6 };
-        assert_ne!(job_key(&ring, 1e-6), job_key(&other_ring, 1e-6));
-        assert_ne!(job_key(&ring, 1e-6), job_key(&sparse, 1e-6));
-        assert_ne!(job_key(&ring, 1e-6), job_key(&ring, 1e-7));
-        assert_eq!(job_key(&ring, 1e-6), job_key(&ring, 1e-6));
+        let base = spec(ring, 1e-6, 100);
+        assert_ne!(job_key(&base), job_key(&spec(other_ring, 1e-6, 100)));
+        assert_ne!(job_key(&base), job_key(&spec(sparse, 1e-6, 100)));
+        assert_ne!(job_key(&base), job_key(&spec(ring, 1e-7, 100)));
+        // A different sweep budget can change the outcome (a truncated
+        // solve is legitimately unconverged), so it must change the key.
+        assert_ne!(job_key(&base), job_key(&spec(ring, 1e-6, 3)));
+        assert_eq!(job_key(&base), job_key(&spec(ring, 1e-6, 100)));
+    }
+
+    #[test]
+    fn keys_ignore_the_tenant() {
+        let ring = ServiceProblem::Ring { blocks: 6 };
+        let mine = spec(ring, 1e-6, 100);
+        let theirs = JobSpec {
+            tenant: 7,
+            ..mine.clone()
+        };
+        assert_eq!(job_key(&mine), job_key(&theirs));
     }
 
     #[test]

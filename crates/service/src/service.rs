@@ -122,6 +122,17 @@ impl Worker {
                     if state.shutdown && state.slots.is_empty() && state.queues.is_empty() {
                         break;
                     }
+                    // Between our Steal::Empty and taking the lock, another
+                    // path (submit, resume, a completing worker) may have
+                    // refilled the deque and fired its notification. Every
+                    // push happens under this lock, so re-checking here
+                    // closes the lost-wakeup window: either the token is
+                    // already visible (steal again), or the push will come
+                    // after we release the lock in wait() and its
+                    // notify_all wakes us.
+                    if !self.shared.injector.is_empty() {
+                        continue;
+                    }
                     // Nothing to do: sleep until a submit, a completion or
                     // shutdown changes the picture. Spurious wakeups just
                     // re-enter the steal loop.
@@ -191,7 +202,7 @@ impl Worker {
             return finish(false, true, false, 0, f64::INFINITY, Vec::new());
         }
 
-        let key = job_key(&spec.problem, spec.epsilon);
+        let key = job_key(spec);
         let hit = {
             let mut cache = self.shared.cache.lock().expect("cache mutex poisoned");
             cache.lookup(key)
@@ -430,6 +441,7 @@ pub fn run_real_load(config: &ServiceConfig, traffic: &TrafficSpec) -> LoadRepor
         makespan_secs: 0.0,
         latencies: Vec::with_capacity(arrivals.len()),
         per_tenant_goodput: std::collections::BTreeMap::new(),
+        per_tenant_admitted: std::collections::BTreeMap::new(),
         per_tenant_submitted: std::collections::BTreeMap::new(),
     };
 
@@ -440,7 +452,13 @@ pub fn run_real_load(config: &ServiceConfig, traffic: &TrafficSpec) -> LoadRepor
             .entry(arrival.spec.tenant)
             .or_default() += 1;
         match service.submit(arrival.spec.clone()) {
-            Ok(_ticket) => admitted += 1,
+            Ok(_ticket) => {
+                admitted += 1;
+                *report
+                    .per_tenant_admitted
+                    .entry(arrival.spec.tenant)
+                    .or_default() += 1;
+            }
             Err(AdmissionError::TenantQueueFull { .. }) => {
                 report.rejected += 1;
                 report.rejected_tenant_full += 1;
@@ -528,6 +546,29 @@ mod tests {
         }
         assert_eq!(per_tenant.values().sum::<u64>(), total);
         assert_eq!(per_tenant.len(), 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn a_single_worker_never_misses_a_wakeup() {
+        // Regression: a worker that saw Steal::Empty could sleep on the
+        // condvar after submit() had already pushed a token and notified,
+        // wedging a one-worker service forever. Each iteration races one
+        // submit against the worker going idle.
+        let config = ServiceConfig {
+            workers: 1,
+            max_in_flight: 8,
+            tenant_queue_depth: 8,
+            drr_quantum: 1,
+            cache_capacity: 0,
+        };
+        let service = SolverService::start(config);
+        let rx = service.take_results().unwrap();
+        for i in 0..200u64 {
+            let ticket = service.submit(cheap_job((i % 3) as TenantId)).unwrap();
+            let result = rx.recv().unwrap();
+            assert_eq!(result.job, ticket.id);
+        }
         service.shutdown();
     }
 

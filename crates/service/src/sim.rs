@@ -61,6 +61,8 @@ pub struct LoadReport {
     pub latencies: Vec<f64>,
     /// Completed jobs per tenant.
     pub per_tenant_goodput: BTreeMap<TenantId, u64>,
+    /// Jobs that passed admission per tenant.
+    pub per_tenant_admitted: BTreeMap<TenantId, u64>,
     /// Submitted jobs per tenant (admitted or not).
     pub per_tenant_submitted: BTreeMap<TenantId, u64>,
 }
@@ -80,13 +82,19 @@ impl LoadReport {
         }
     }
 
-    /// Max/min completed jobs over all tenants that submitted anything.
-    /// 1.0 is perfectly fair; [`STARVED_FAIRNESS_RATIO`] flags a tenant
-    /// that finished nothing.
+    /// Max/min completed jobs over all tenants with at least one *admitted*
+    /// job. 1.0 is perfectly fair; [`STARVED_FAIRNESS_RATIO`] flags a
+    /// tenant that was admitted but finished nothing. Tenants whose every
+    /// submission was shed at admission are excluded — the scheduler never
+    /// saw their jobs, so their zero goodput is an admission artifact, not
+    /// a DRR fairness defect (the rejection-rate gate owns that axis).
     pub fn fairness_ratio(&self) -> f64 {
         let mut min = u64::MAX;
         let mut max = 0u64;
-        for tenant in self.per_tenant_submitted.keys() {
+        for (tenant, admitted) in &self.per_tenant_admitted {
+            if *admitted == 0 {
+                continue;
+            }
             let done = self.per_tenant_goodput.get(tenant).copied().unwrap_or(0);
             min = min.min(done);
             max = max.max(done);
@@ -184,6 +192,7 @@ pub fn run_virtual(spec: &LoadSpec) -> LoadReport {
         makespan_secs: 0.0,
         latencies: Vec::with_capacity(arrivals.len()),
         per_tenant_goodput: BTreeMap::new(),
+        per_tenant_admitted: BTreeMap::new(),
         per_tenant_submitted: BTreeMap::new(),
     };
 
@@ -235,6 +244,10 @@ pub fn run_virtual(spec: &LoadSpec) -> LoadReport {
                     Ok(()) => {
                         in_flight += 1;
                         report.peak_in_flight = report.peak_in_flight.max(in_flight);
+                        *report
+                            .per_tenant_admitted
+                            .entry(arrival.spec.tenant)
+                            .or_default() += 1;
                     }
                     Err(AdmissionError::TenantQueueFull { .. }) => {
                         report.rejected += 1;
@@ -250,7 +263,7 @@ pub fn run_virtual(spec: &LoadSpec) -> LoadReport {
             let Some(pending) = queues.dispatch() else {
                 break;
             };
-            let key = job_key(&pending.spec.problem, pending.spec.epsilon);
+            let key = job_key(&pending.spec);
             let duration = match cache.lookup(key) {
                 Some(_) => spec.cache_hit_cost_secs,
                 None => {
@@ -357,6 +370,31 @@ mod tests {
 
     #[test]
     fn starved_tenants_flag_the_sentinel_ratio() {
+        // Tenant 1 was admitted but finished nothing: a scheduler defect.
+        let report = LoadReport {
+            generated: 10,
+            completed: 5,
+            rejected: 0,
+            rejected_tenant_full: 0,
+            rejected_in_flight: 0,
+            cache_hits: 0,
+            cache_misses: 5,
+            peak_in_flight: 10,
+            in_flight_bound: 16,
+            makespan_secs: 1.0,
+            latencies: vec![0.1; 5],
+            per_tenant_goodput: [(0, 5)].into_iter().collect(),
+            per_tenant_admitted: [(0, 5), (1, 5)].into_iter().collect(),
+            per_tenant_submitted: [(0, 5), (1, 5)].into_iter().collect(),
+        };
+        assert_eq!(report.fairness_ratio(), STARVED_FAIRNESS_RATIO);
+        assert!(report.fairness_ratio().is_finite());
+    }
+
+    #[test]
+    fn tenants_shed_entirely_at_admission_do_not_skew_fairness() {
+        // Tenant 1's every submission was rejected at the door; the
+        // scheduler never saw its jobs, so fairness covers tenant 0 only.
         let report = LoadReport {
             generated: 10,
             completed: 5,
@@ -370,10 +408,10 @@ mod tests {
             makespan_secs: 1.0,
             latencies: vec![0.1; 5],
             per_tenant_goodput: [(0, 5)].into_iter().collect(),
+            per_tenant_admitted: [(0, 5)].into_iter().collect(),
             per_tenant_submitted: [(0, 5), (1, 5)].into_iter().collect(),
         };
-        assert_eq!(report.fairness_ratio(), STARVED_FAIRNESS_RATIO);
-        assert!(report.fairness_ratio().is_finite());
+        assert_eq!(report.fairness_ratio(), 1.0);
     }
 
     #[test]
