@@ -3,12 +3,16 @@
 //! shared worker pool.
 //!
 //! ```text
-//! service_load [--smoke | --full] [--json PATH] [--list]
+//! service_load [--smoke | --full] [--json PATH] [--trace PATH] [--list]
 //! ```
 //!
 //! * `--smoke` (default) — the seeded ~1.8 k-job stream CI gates on.
 //! * `--full` — the sustained 12 k-job stream with skewed tenant weights.
 //! * `--json PATH` — also write the record as pretty JSON to `PATH`.
+//! * `--trace PATH` — additionally replay the load with tracing enabled
+//!   (the deterministic virtual-clock replay plus the real pool, merged)
+//!   and write the per-tenant Chrome trace-event JSON to `PATH`
+//!   (schema-checked before writing).
 //! * `--list` — print the spec that would run, without running it.
 //!
 //! The record carries two cells: `virtual` (deterministic virtual-clock
@@ -22,19 +26,23 @@
 
 use aiac_bench::harness::spec::service_load_spec;
 use aiac_bench::harness::{run_specs, BenchRecord, Fidelity};
+use aiac_obs::{to_chrome_json, validate_chrome_trace, TraceConfig};
+use aiac_service::{run_real_load_traced, run_virtual_traced};
 
 struct Args {
     fidelity: Fidelity,
     json: Option<String>,
+    trace: Option<String>,
     list: bool,
 }
 
-const USAGE: &str = "usage: service_load [--smoke | --full] [--json PATH] [--list]";
+const USAGE: &str = "usage: service_load [--smoke | --full] [--json PATH] [--trace PATH] [--list]";
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         fidelity: Fidelity::Smoke,
         json: None,
+        trace: None,
         list: false,
     };
     while let Some(arg) = argv.next() {
@@ -44,12 +52,45 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--json" => {
                 args.json = Some(argv.next().ok_or("--json needs a file path")?);
             }
+            "--trace" => {
+                args.trace = Some(argv.next().ok_or("--trace needs a file path")?);
+            }
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     Ok(args)
+}
+
+/// Replays the spec's load with tracing enabled — the deterministic
+/// virtual-clock replay merged with the real-pool run — and writes the
+/// per-tenant Chrome trace to `path` (validated against the in-repo schema
+/// first).
+fn export_trace(spec: &aiac_bench::harness::ExperimentSpec, path: &str) -> Result<(), String> {
+    let mut load = spec
+        .service
+        .clone()
+        .ok_or("the service spec carries no load")?;
+    load.service.tracing = TraceConfig::on();
+    let (virt, mut trace) = run_virtual_traced(&load);
+    if virt.completed == 0 {
+        return Err("the traced virtual replay completed no jobs".to_string());
+    }
+    let (real, real_trace) = run_real_load_traced(&load.service, &load.traffic);
+    if real.completed == 0 {
+        return Err("the traced real load completed no jobs".to_string());
+    }
+    trace.merge(real_trace);
+    let json = to_chrome_json(&trace);
+    let stats = validate_chrome_trace(&json)
+        .map_err(|err| format!("the exporter produced an invalid trace: {err}"))?;
+    std::fs::write(path, &json).map_err(|err| format!("cannot write {path}: {err}"))?;
+    eprintln!(
+        "service_load: wrote {path} ({} events on {} tracks)",
+        stats.events, stats.tracks
+    );
+    Ok(())
 }
 
 /// The headline metrics of each load cell, one line per metric.
@@ -134,6 +175,13 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("service_load: wrote {path}");
+    }
+
+    if let Some(path) = &args.trace {
+        if let Err(err) = export_trace(&spec, path) {
+            eprintln!("service_load: {err}");
+            std::process::exit(1);
+        }
     }
 
     if !record.all_checks_passed() {

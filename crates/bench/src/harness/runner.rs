@@ -19,10 +19,13 @@ use aiac_core::runtime::threaded::ThreadedRuntime;
 use aiac_envs::profile::EnvProfile;
 use aiac_envs::threads::ProblemKind;
 use aiac_netsim::topology::GridTopology;
+use aiac_obs::MetricsRegistry;
 use aiac_service::{run_real_load, run_virtual, LoadReport};
 use aiac_solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
 
-use crate::harness::record::{BenchRecord, CellRecord, ExperimentRecord, MetricSample};
+use crate::harness::record::{
+    BenchRecord, CellRecord, ExperimentRecord, MetricDirection, MetricSample,
+};
 use crate::harness::spec::{Check, ExperimentKind, ExperimentSpec, Fidelity, ProblemSpec};
 use crate::harness::stats::Summary;
 use crate::scale::{ExperimentScale, ScaleRing};
@@ -103,6 +106,32 @@ fn sim_metric_samples(sim: &SimMetrics) -> Vec<MetricSample> {
         MetricSample::info("mean_utilization", sim.mean_utilization),
         MetricSample::info("max_colocation", sim.max_colocation as f64),
     ]
+}
+
+/// Renders every entry of a registry snapshot as a metric sample.
+///
+/// This is the one bridge between the observability plane's
+/// [`MetricsRegistry`] and the bench-record schema: the reports build
+/// their registry (`RunReport::metrics_registry`,
+/// `LoadReport::metrics_registry`) and the harness renders *all* of it, so
+/// a counter registered there becomes a bench metric — and, when flagged
+/// deterministic with a non-informational direction, a gateable one — with
+/// no hand-maintained name list here.
+fn registry_samples(registry: &MetricsRegistry) -> Vec<MetricSample> {
+    registry
+        .snapshot()
+        .iter()
+        .map(|e| MetricSample {
+            name: e.name.to_string(),
+            value: e.value,
+            deterministic: e.deterministic,
+            direction: match e.direction {
+                aiac_obs::MetricDirection::LowerIsBetter => MetricDirection::LowerIsBetter,
+                aiac_obs::MetricDirection::HigherIsBetter => MetricDirection::HigherIsBetter,
+                aiac_obs::MetricDirection::Informational => MetricDirection::Informational,
+            },
+        })
+        .collect()
 }
 
 /// Flattens a wall-clock summary into (nondeterministic) samples.
@@ -227,60 +256,11 @@ fn run_threaded_cell(
         ));
     }
     if let Some(report) = &last {
-        for (name, value) in [
-            (
-                "total_iterations",
-                report.iterations.iter().sum::<u64>() as f64,
-            ),
-            ("data_messages", report.data_messages as f64),
-            ("coalesced_messages", report.coalesced_messages as f64),
-            (
-                "peak_mailbox_occupancy",
-                report.peak_mailbox_occupancy as f64,
-            ),
-        ] {
-            // Real-thread interleavings vary run to run, so none of these
-            // counters are gateable.
-            metrics.push(MetricSample {
-                name: name.to_string(),
-                value,
-                deterministic: false,
-                direction: crate::harness::record::MetricDirection::Informational,
-            });
-        }
-        // Payload copies are structural — a kernel either overrides
-        // `update_block_into` or it does not — so unlike the traffic
-        // counters above they are machine-invariant and gateable even on
-        // the wall-clock executor.
-        metrics.push(MetricSample::gauge(
-            "payload_clones",
-            report.payload_clones as f64,
-        ));
-        metrics.push(MetricSample::gauge(
-            "bytes_copied",
-            report.bytes_copied as f64,
-        ));
-        // Scheduler counters: on a synchronous cell the static partition
-        // never touches the work-stealing pool, so all four are structural
-        // zeros — deterministic and gateable. Asynchronous counts depend on
-        // the interleaving and stay informational.
-        for (name, value) in [
-            ("steals", report.steals),
-            ("failed_steal_attempts", report.failed_steal_attempts),
-            ("local_pushes", report.local_pushes),
-            ("queue_wait_events", report.queue_wait_events),
-        ] {
-            if synchronous {
-                metrics.push(MetricSample::gauge(name, value as f64));
-            } else {
-                metrics.push(MetricSample {
-                    name: name.to_string(),
-                    value: value as f64,
-                    deterministic: false,
-                    direction: crate::harness::record::MetricDirection::Informational,
-                });
-            }
-        }
+        // The report knows which of its counters are gateable (structural
+        // zero-copy counts always; the scheduler counters only on the
+        // synchronous static partition, where they are structural zeros) —
+        // the harness just renders the snapshot.
+        metrics.extend(registry_samples(&report.metrics_registry(synchronous)));
     }
     let mut outcome = CellOutcome {
         record: CellRecord {
@@ -704,16 +684,13 @@ fn latency_samples(report: &LoadReport, deterministic: bool) -> Vec<MetricSample
     ]
 }
 
-/// The bookkeeping counters every load cell reports (never gated).
-fn service_info_samples(report: &LoadReport) -> Vec<MetricSample> {
-    vec![
-        MetricSample::info("jobs_generated", report.generated as f64),
-        MetricSample::info("jobs_completed", report.completed as f64),
-        MetricSample::info("jobs_rejected", report.rejected as f64),
-        MetricSample::info("peak_in_flight", report.peak_in_flight as f64),
-        MetricSample::info("cache_hits", report.cache_hits as f64),
-        MetricSample::info("cache_misses", report.cache_misses as f64),
-    ]
+/// The gauges and bookkeeping counters of one load cell, rendered from the
+/// report's own registry, plus the latency percentiles (computed here —
+/// [`Summary`] lives in the harness).
+fn service_samples(report: &LoadReport, deterministic: bool) -> Vec<MetricSample> {
+    let mut metrics = registry_samples(&report.metrics_registry(deterministic));
+    metrics.extend(latency_samples(report, deterministic));
+    metrics
 }
 
 /// The `service_load` driver: replays the spec's traffic twice — once on
@@ -732,15 +709,7 @@ fn run_service_load(spec: &ExperimentSpec) -> ExperimentRecord {
         .unwrap_or(EnvProfile::LocalThreads);
 
     let virt = run_virtual(load);
-    let mut metrics = vec![
-        MetricSample::gauge("throughput_jobs_per_sec", virt.throughput()).higher_is_better(),
-        MetricSample::gauge("fairness_ratio", virt.fairness_ratio()),
-        MetricSample::gauge("cache_hit_rate", virt.cache_hit_rate()).higher_is_better(),
-        MetricSample::gauge("rejection_rate", virt.rejection_rate()),
-        MetricSample::gauge("makespan_secs", virt.makespan_secs),
-    ];
-    metrics.extend(latency_samples(&virt, true));
-    metrics.extend(service_info_samples(&virt));
+    let metrics = service_samples(&virt, true);
     let mut virtual_cell = CellRecord {
         cell: "virtual".to_string(),
         env: profile.slug().to_string(),
@@ -751,12 +720,7 @@ fn run_service_load(spec: &ExperimentSpec) -> ExperimentRecord {
     apply_service_checks(&mut virtual_cell, &virt, spec);
 
     let real = run_real_load(&load.service, &load.traffic);
-    let mut metrics = vec![
-        MetricSample::wall("real_throughput_jobs_per_sec", real.throughput()).higher_is_better(),
-        MetricSample::wall("real_makespan_secs", real.makespan_secs),
-    ];
-    metrics.extend(latency_samples(&real, false));
-    metrics.extend(service_info_samples(&real));
+    let metrics = service_samples(&real, false);
     let mut real_cell = CellRecord {
         cell: "real".to_string(),
         env: profile.slug().to_string(),

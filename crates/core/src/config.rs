@@ -16,6 +16,7 @@
 //! same message (what the runtimes use on their internal invariants).
 
 use crate::placement::PlacementPolicy;
+use aiac_obs::TraceConfig;
 use serde::{Deserialize, Serialize};
 
 /// Synchronous (SISC) or asynchronous (AIAC) execution.
@@ -151,6 +152,10 @@ pub struct RunConfig {
     /// ran the publisher, so the freshly produced payload is consumed where
     /// it is cache-hot. Invalid with [`StealPolicy::SharedFifo`].
     pub locality_bias: bool,
+    /// Event-tracing knobs forwarded to the observability plane. Off by
+    /// default, in which case every instrumentation site in the runtimes
+    /// reduces to one relaxed atomic load and a branch.
+    pub tracing: TraceConfig,
 }
 
 impl RunConfig {
@@ -166,6 +171,7 @@ impl RunConfig {
             placement: PlacementPolicy::RoundRobin,
             steal_policy: StealPolicy::WorkStealing,
             locality_bias: true,
+            tracing: TraceConfig::off(),
         }
     }
 
@@ -181,6 +187,7 @@ impl RunConfig {
             placement: PlacementPolicy::RoundRobin,
             steal_policy: StealPolicy::WorkStealing,
             locality_bias: true,
+            tracing: TraceConfig::off(),
         }
     }
 
@@ -233,6 +240,14 @@ impl RunConfig {
     /// (builder style).
     pub fn with_locality_bias(mut self, bias: bool) -> Self {
         self.locality_bias = bias;
+        self
+    }
+
+    /// Sets the tracing knobs (builder style). `TraceConfig::on()` makes the
+    /// back-ends record per-worker (threaded) or per-host (simulated) event
+    /// timelines exportable as Chrome trace JSON.
+    pub fn with_tracing(mut self, tracing: TraceConfig) -> Self {
+        self.tracing = tracing;
         self
     }
 
@@ -449,6 +464,16 @@ mod tests {
         // turning the bias off under work-stealing is always fine
         let unbiased = RunConfig::asynchronous(1e-6).with_locality_bias(false);
         assert!(unbiased.try_validate().is_ok());
+    }
+
+    #[test]
+    fn tracing_defaults_off_and_the_builder_enables_it() {
+        let c = RunConfig::asynchronous(1e-6);
+        assert!(!c.tracing.enabled);
+        let traced = c.with_tracing(TraceConfig::on().with_ring_capacity(1024));
+        assert!(traced.tracing.enabled);
+        assert_eq!(traced.tracing.ring_capacity, 1024);
+        traced.validate();
     }
 
     #[test]

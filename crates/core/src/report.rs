@@ -8,8 +8,10 @@
 //! the series of Figure 3, so the report also knows how to compute the
 //! paper's "speed ratio" (synchronous time divided by asynchronous time).
 
-use crate::config::{ConfigError, ExecutionMode};
+use aiac_obs::{MetricDirection, MetricsRegistry};
 use serde::{Deserialize, Serialize};
+
+use crate::config::{ConfigError, ExecutionMode};
 
 /// Why a run could not produce a [`RunReport`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -167,6 +169,57 @@ impl RunReport {
     pub fn total_messages(&self) -> u64 {
         self.data_messages + self.control_messages
     }
+
+    /// The report's counters as a [`MetricsRegistry`] — the one list the
+    /// bench harness renders metric samples from, so a new counter becomes
+    /// a bench metric by being registered here.
+    ///
+    /// `scheduler_deterministic` marks the four scheduler counters
+    /// (`steals`, `failed_steal_attempts`, `local_pushes`,
+    /// `queue_wait_events`) gateable. On the synchronous static partition
+    /// they are structural zeros on any machine, so the harness passes
+    /// `true` there; asynchronous counts depend on the thread interleaving
+    /// and stay informational. The traffic counters are always
+    /// interleaving-dependent on the threaded back-end; the two zero-copy
+    /// counters are structural (a kernel either overrides the in-place
+    /// update or it does not) and therefore always gateable.
+    pub fn metrics_registry(&self, scheduler_deterministic: bool) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        for (name, value) in [
+            ("total_iterations", self.iterations.iter().sum::<u64>()),
+            ("data_messages", self.data_messages),
+            ("coalesced_messages", self.coalesced_messages),
+            ("peak_mailbox_occupancy", self.peak_mailbox_occupancy),
+        ] {
+            registry.counter(name, value, false, MetricDirection::Informational);
+        }
+        registry.counter(
+            "payload_clones",
+            self.payload_clones,
+            true,
+            MetricDirection::LowerIsBetter,
+        );
+        registry.counter(
+            "bytes_copied",
+            self.bytes_copied,
+            true,
+            MetricDirection::LowerIsBetter,
+        );
+        for (name, value) in [
+            ("steals", self.steals),
+            ("failed_steal_attempts", self.failed_steal_attempts),
+            ("local_pushes", self.local_pushes),
+            ("queue_wait_events", self.queue_wait_events),
+        ] {
+            let direction = if scheduler_deterministic {
+                MetricDirection::LowerIsBetter
+            } else {
+                MetricDirection::Informational
+            };
+            registry.counter(name, value, scheduler_deterministic, direction);
+        }
+        registry
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +286,37 @@ mod tests {
         let config = RunError::from(ConfigError::ZeroWorkers);
         assert!(config.to_string().contains("num_workers"));
         assert!(std::error::Error::source(&config).is_some());
+    }
+
+    #[test]
+    fn the_metrics_registry_flags_scheduler_counters_by_mode() {
+        let mut r = report(ExecutionMode::Asynchronous, 1.0, vec![3, 4]);
+        r.steals = 7;
+        let by_interleaving = r.metrics_registry(false);
+        assert_eq!(by_interleaving.get("total_iterations").unwrap().value, 7.0);
+        assert!(!by_interleaving.get("steals").unwrap().deterministic);
+        assert!(by_interleaving.get("payload_clones").unwrap().deterministic);
+
+        let structural = r.metrics_registry(true);
+        assert!(structural.get("steals").unwrap().deterministic);
+        assert_eq!(structural.get("steals").unwrap().value, 7.0);
+        // Names are committed in bench baselines: the full list, in order.
+        let names: Vec<&str> = structural.snapshot().iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            [
+                "total_iterations",
+                "data_messages",
+                "coalesced_messages",
+                "peak_mailbox_occupancy",
+                "payload_clones",
+                "bytes_copied",
+                "steals",
+                "failed_steal_attempts",
+                "local_pushes",
+                "queue_wait_events",
+            ]
+        );
     }
 
     #[test]

@@ -49,10 +49,25 @@ use aiac_netsim::sim::Simulator;
 use aiac_netsim::time::SimTime;
 use aiac_netsim::topology::GridTopology;
 use aiac_netsim::trace::{Activity, ExecutionTrace};
+use aiac_obs::{Layer, TraceSnapshot, Tracer, TrackRecorder};
 use serde::{Deserialize, Serialize};
 
 /// Size in bytes of a convergence-state or stop control message on the wire.
 const CONTROL_BYTES: u64 = 16;
+
+/// A virtual instant as integer nanoseconds for the event tracer. The
+/// rounding is a pure function of the (deterministic) virtual clock, which
+/// is what makes traced simulated runs bit-identical across machines.
+fn sim_ns(t: SimTime) -> u64 {
+    (t.as_secs() * 1e9).round() as u64
+}
+
+/// One event recorder per host of the topology, on the netsim layer.
+fn host_recorders(tracer: &Tracer, topology: &GridTopology) -> Vec<TrackRecorder> {
+    (0..topology.num_hosts())
+        .map(|h| tracer.recorder(Layer::Netsim, format!("host-{h}"), h as u64))
+        .collect()
+}
 
 /// The deterministic, serialisable metrics of a simulated run.
 ///
@@ -112,6 +127,10 @@ pub struct SimulationOutcome {
     pub host_loads: Vec<HostLoad>,
     /// The block → host assignment the run executed under.
     pub placement: Placement,
+    /// Per-host event timelines on the virtual clock (empty unless
+    /// `RunConfig::tracing` enables recording). Timestamps are virtual
+    /// nanoseconds, so the exported trace is bit-identical across runs.
+    pub obs_trace: TraceSnapshot,
 }
 
 impl SimulationOutcome {
@@ -236,6 +255,8 @@ impl SimulatedRuntime {
         let mut network = Network::new(self.topology.clone());
         let mut cpu = HostScheduler::for_topology(&self.topology);
         let mut trace = self.record_trace.then(|| ExecutionTrace::new(m));
+        let tracer = Tracer::new(config.tracing);
+        let mut recorders = host_recorders(&tracer, &self.topology);
 
         let mut states: Vec<BlockState> = (0..m).map(|b| BlockState::new(kernel, b)).collect();
         let mut iteration_start = SimTime::ZERO;
@@ -266,6 +287,16 @@ impl SimulatedRuntime {
                         }
                         tr.record(b, slot.start, slot.end, Activity::Compute);
                     }
+                    let rec = &mut recorders[host_id.0];
+                    if slot.start > iteration_start {
+                        rec.span_complete(
+                            "cpu_wait",
+                            sim_ns(iteration_start),
+                            sim_ns(slot.start),
+                            b as u64,
+                        );
+                    }
+                    rec.span_complete("compute", sim_ns(slot.start), sim_ns(slot.end), b as u64);
                     slot.end
                 })
                 .collect();
@@ -343,6 +374,11 @@ impl SimulatedRuntime {
             unpack_jobs.sort_by_key(|job| job.0);
             for (ready, dst, handle_cost) in unpack_jobs {
                 let unpack = cpu.schedule(dst, ready, handle_cost);
+                let rec = &mut recorders[dst.0];
+                rec.instant_at("msg_arrive", sim_ns(ready), 0);
+                if unpack.start > ready {
+                    rec.span_complete("cpu_wait", sim_ns(ready), sim_ns(unpack.start), 0);
+                }
                 barrier_time = barrier_time.max(unpack.end);
             }
 
@@ -429,6 +465,7 @@ impl SimulatedRuntime {
             solution: kernel.assemble(&values),
             final_residual: worst_residual,
         };
+        drop(recorders);
         SimulationOutcome {
             sim_time: iteration_start,
             trace,
@@ -436,6 +473,7 @@ impl SimulatedRuntime {
             host_loads: cpu.loads(iteration_start),
             placement,
             report,
+            obs_trace: tracer.snapshot(),
         }
     }
 
@@ -461,6 +499,7 @@ impl SimulatedRuntime {
             }
             ReceiveDiscipline::OnDemand { .. } => None,
         };
+        let tracer = Tracer::new(config.tracing);
         let mut engine = AsyncEngine {
             kernel,
             config,
@@ -477,8 +516,10 @@ impl SimulatedRuntime {
             trace: self.record_trace.then(|| ExecutionTrace::new(m)),
             cpu: HostScheduler::for_topology(&self.topology),
             rx_pools,
+            recorders: host_recorders(&tracer, &self.topology),
         };
         engine.run();
+        engine.recorders.clear();
 
         let end_time = engine
             .procs
@@ -536,6 +577,7 @@ impl SimulatedRuntime {
             host_loads: engine.cpu.loads(end_time),
             placement: engine.placement,
             report,
+            obs_trace: tracer.snapshot(),
         }
     }
 }
@@ -597,6 +639,9 @@ struct AsyncEngine<'a> {
     cpu: HostScheduler,
     /// Per-host dedicated receiving-thread pools (None = on-demand threads).
     rx_pools: Option<HostScheduler>,
+    /// Per-host event recorders on the virtual clock (no-ops when tracing
+    /// is off). Cleared after the event loop so the rings reach the tracer.
+    recorders: Vec<TrackRecorder>,
 }
 
 impl AsyncEngine<'_> {
@@ -623,6 +668,14 @@ impl AsyncEngine<'_> {
                         let dst = self.placement.host_of(to);
                         let pool = self.rx_pools.as_mut().expect("dedicated pools exist");
                         let slot = pool.schedule(dst, now, handle_cost);
+                        if slot.start > now {
+                            self.recorders[dst.0].span_complete(
+                                "cpu_wait",
+                                sim_ns(now),
+                                sim_ns(slot.start),
+                                to as u64,
+                            );
+                        }
                         self.sim.schedule_at(
                             slot.end,
                             SimEvent::DeliverData {
@@ -642,13 +695,21 @@ impl AsyncEngine<'_> {
                 } => {
                     // Data arriving after the processor stopped is simply
                     // dropped, like a message reaching a terminated process.
-                    if !self.procs[to].stopped
-                        && self.procs[to].state.incorporate(from, iteration, values)
-                    {
-                        self.procs[to].fresh_since_last = true;
+                    if !self.procs[to].stopped {
+                        let dst = self.placement.host_of(to);
+                        self.recorders[dst.0].instant_at("msg_arrive", sim_ns(now), from as u64);
+                        if self.procs[to].state.incorporate(from, iteration, values) {
+                            self.procs[to].fresh_since_last = true;
+                        }
                     }
                 }
                 SimEvent::DeliverState { from, converged } => {
+                    let coord = self.placement.host_of(0);
+                    self.recorders[coord.0].instant_at(
+                        if converged { "converge" } else { "deconverge" },
+                        sim_ns(now),
+                        from as u64,
+                    );
                     if self.detector.report(from, converged) {
                         self.broadcast_stop(now);
                     }
@@ -660,6 +721,8 @@ impl AsyncEngine<'_> {
                         // The processor leaves the iterative process as soon
                         // as its in-flight iteration completes.
                         proc.stop_time = proc.busy_until.max(now);
+                        let host = self.placement.host_of(to);
+                        self.recorders[host.0].instant_at("stop", sim_ns(now), to as u64);
                     }
                 }
             }
@@ -711,6 +774,16 @@ impl AsyncEngine<'_> {
             }
             tr.record(block, slot.start, slot.end, Activity::Compute);
         }
+        let rec = &mut self.recorders[host_id.0];
+        if slot.start > now {
+            rec.span_complete("cpu_wait", sim_ns(now), sim_ns(slot.start), block as u64);
+        }
+        rec.span_complete(
+            "compute",
+            sim_ns(slot.start),
+            sim_ns(slot.end),
+            block as u64,
+        );
 
         let fresh_data = self.procs[block].fresh_since_last;
         self.procs[block].fresh_since_last = false;
@@ -799,6 +872,12 @@ impl AsyncEngine<'_> {
             if let Some(tr) = self.trace.as_mut() {
                 tr.record(block, pack_start, pack_done, Activity::Send);
             }
+            self.recorders[host_id.0].span_complete(
+                "send",
+                sim_ns(pack_start),
+                sim_ns(pack_done),
+                dst_block as u64,
+            );
             let wire_arrival = if host_id == dst {
                 pack_done
             } else {
@@ -1028,6 +1107,64 @@ mod tests {
         assert!(atrace.time_in(0, Activity::Compute) > SimTime::ZERO);
         // AIAC processors on uncontended hosts never wait between iterations.
         assert_eq!(atrace.time_in(0, Activity::Idle), SimTime::ZERO);
+    }
+
+    #[test]
+    fn virtual_clock_event_traces_are_bit_identical_across_runs() {
+        use aiac_obs::TraceConfig;
+        let kernel = RingContraction::new(6);
+        let config = RunConfig::asynchronous(1e-9)
+            .with_streak(3)
+            .with_tracing(TraceConfig::on());
+        let run = || {
+            SimulatedRuntime::new(grid(6), EnvKind::Pm2, ProblemKind::SparseLinear)
+                .run(&kernel, &config)
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.obs_trace.is_empty());
+        assert_eq!(
+            a.obs_trace, b.obs_trace,
+            "virtual-clock traces must be identical"
+        );
+        assert_eq!(a.obs_trace.layers(), vec![aiac_obs::Layer::Netsim]);
+        let names: std::collections::BTreeSet<&str> = a
+            .obs_trace
+            .tracks
+            .iter()
+            .flat_map(|t| t.ring.iter_in_order().map(|e| e.name))
+            .collect();
+        assert!(names.contains("compute"), "{names:?}");
+        assert!(names.contains("msg_arrive"), "{names:?}");
+        // untraced runs stay empty
+        let quiet = SimulatedRuntime::new(grid(6), EnvKind::Pm2, ProblemKind::SparseLinear)
+            .run(&kernel, &RunConfig::asynchronous(1e-9).with_streak(3));
+        assert!(quiet.obs_trace.is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_traced_runs_record_cpu_wait_spans() {
+        use aiac_obs::TraceConfig;
+        let kernel = RingContraction::new(8);
+        let sim = SimulatedRuntime::new(
+            GridTopology::homogeneous_cluster(4),
+            EnvKind::Pm2,
+            ProblemKind::SparseLinear,
+        )
+        .run(
+            &kernel,
+            &RunConfig::asynchronous(1e-8)
+                .with_streak(3)
+                .with_tracing(TraceConfig::on()),
+        );
+        assert!(sim.report.cpu_queue_secs > 0.0);
+        let names: std::collections::BTreeSet<&str> = sim
+            .obs_trace
+            .tracks
+            .iter()
+            .flat_map(|t| t.ring.iter_in_order().map(|e| e.name))
+            .collect();
+        assert!(names.contains("cpu_wait"), "{names:?}");
     }
 
     #[test]

@@ -62,6 +62,7 @@ use crate::runtime::mailbox::{CoalescingMailboxes, MailboxStats};
 // instrument them under `--cfg aiac_check` (enforced by `cargo xtask
 // analyze`).
 use crate::runtime::sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use aiac_obs::{Layer, TraceSnapshot, Tracer, TrackRecorder};
 use crossbeam::channel::{unbounded, Sender};
 use std::collections::VecDeque;
 use std::sync::{Barrier, Condvar, Mutex};
@@ -467,17 +468,45 @@ impl ThreadedRuntime {
         kernel: &dyn IterativeKernel,
         config: &RunConfig,
     ) -> Result<RunReport, RunError> {
+        self.try_run_traced(kernel, config)
+            .map(|(report, _)| report)
+    }
+
+    /// Runs the kernel and also returns the trace snapshot recorded by the
+    /// workers. Empty unless `config.tracing` enables recording.
+    ///
+    /// # Panics
+    /// Panics on the same failures as [`ThreadedRuntime::run`].
+    pub fn run_traced(
+        &self,
+        kernel: &dyn IterativeKernel,
+        config: &RunConfig,
+    ) -> (RunReport, TraceSnapshot) {
+        self.try_run_traced(kernel, config)
+            .unwrap_or_else(|err| panic!("ThreadedRuntime::run_traced failed: {err}"))
+    }
+
+    /// Runs the kernel, reporting failures as a [`RunError`] and returning
+    /// the workers' trace snapshot alongside the report.
+    pub fn try_run_traced(
+        &self,
+        kernel: &dyn IterativeKernel,
+        config: &RunConfig,
+    ) -> Result<(RunReport, TraceSnapshot), RunError> {
         config.try_validate()?;
-        match config.mode {
-            ExecutionMode::Synchronous => self.run_synchronous(kernel, config),
-            ExecutionMode::Asynchronous => self.run_asynchronous(kernel, config),
-        }
+        let tracer = Tracer::new(config.tracing);
+        let report = match config.mode {
+            ExecutionMode::Synchronous => self.run_synchronous(kernel, config, &tracer),
+            ExecutionMode::Asynchronous => self.run_asynchronous(kernel, config, &tracer),
+        }?;
+        Ok((report, tracer.snapshot()))
     }
 
     fn run_synchronous(
         &self,
         kernel: &dyn IterativeKernel,
         config: &RunConfig,
+        tracer: &Tracer,
     ) -> Result<RunReport, RunError> {
         let m = kernel.num_blocks();
         let graph = DependencyGraph::from_kernel(kernel);
@@ -516,6 +545,7 @@ impl ThreadedRuntime {
                         data_messages,
                         data_bytes,
                         results,
+                        tracer,
                     );
                 });
             }
@@ -551,6 +581,7 @@ impl ThreadedRuntime {
         &self,
         kernel: &dyn IterativeKernel,
         config: &RunConfig,
+        tracer: &Tracer,
     ) -> Result<RunReport, RunError> {
         let m = kernel.num_blocks();
         let graph = DependencyGraph::from_kernel(kernel);
@@ -604,8 +635,10 @@ impl ThreadedRuntime {
                 scope.spawn(move |_| {
                     let _guard = PanicGuard(&pool.sched);
                     match config.steal_policy {
-                        StealPolicy::WorkStealing => stealing_worker(pool, worker, &coord_tx),
-                        StealPolicy::SharedFifo => fifo_worker(pool, &coord_tx),
+                        StealPolicy::WorkStealing => {
+                            stealing_worker(pool, worker, &coord_tx, tracer)
+                        }
+                        StealPolicy::SharedFifo => fifo_worker(pool, worker, &coord_tx, tracer),
                     }
                 });
             }
@@ -675,7 +708,15 @@ struct AsyncTask {
 /// first, so demoted work cannot starve behind a productive LIFO top. The
 /// `closed` check at the top of every lap is what makes the stop broadcast
 /// prompt even for a worker deep in steal backoff.
-fn stealing_worker(pool: &AsyncPool<'_>, worker: usize, coord_tx: &Sender<CoordEvent>) {
+fn stealing_worker(
+    pool: &AsyncPool<'_>,
+    worker: usize,
+    coord_tx: &Sender<CoordEvent>,
+    tracer: &Tracer,
+) {
+    // One allocation per worker *lifetime* for the track name; every event
+    // on the track uses static names (enforced by `cargo xtask analyze` R8).
+    let mut rec = tracer.recorder(Layer::Runtime, format!("worker-{worker}"), worker as u64);
     let mut rng = pool
         .config
         .seed
@@ -707,33 +748,38 @@ fn stealing_worker(pool: &AsyncPool<'_>, worker: usize, coord_tx: &Sender<CoordE
                     });
             if let Some(block) = oldest {
                 pool.sched.took(block);
-                pool.process(block, Some(worker), coord_tx);
+                pool.process(block, Some(worker), coord_tx, &mut rec);
                 continue;
             }
         }
         if let Some(block) = pool.sched.deques[worker].pop() {
             pool.sched.took(block);
-            pool.process(block, Some(worker), coord_tx);
+            pool.process(block, Some(worker), coord_tx, &mut rec);
         } else if let (Some(block), _) = pool.sched.steal_sweep(worker, &mut rng) {
             // One cheap sweep only: when every victim is empty the work (if
             // any) sits on the injector, and repeating the sweep with
             // backoff here would tax the common injector-bound lap.
+            rec.instant("steal", block as u64);
             pool.sched.took(block);
-            pool.process(block, Some(worker), coord_tx);
+            pool.process(block, Some(worker), coord_tx, &mut rec);
         } else if let Some(block) = pool.sched.pop_injector() {
             pool.sched.took(block);
-            pool.process(block, Some(worker), coord_tx);
+            pool.process(block, Some(worker), coord_tx, &mut rec);
         } else if let Some(block) = pool.sched.steal_with_backoff(worker, &mut rng) {
             // Nothing anywhere on the first pass: retry contended victims
             // with backoff before paying for the condition variable.
+            rec.instant("steal", block as u64);
             pool.sched.took(block);
-            pool.process(block, Some(worker), coord_tx);
+            pool.process(block, Some(worker), coord_tx, &mut rec);
         } else {
             // A worker never reaches this arm with a non-empty own deque
             // (only it pushes there, and it popped above), so every block
             // still queued is on the injector or another worker's deque —
             // and any enqueue after `seen` was read wakes this park.
+            rec.instant("steal_miss", 0);
+            rec.span_begin("park", 0);
             pool.sched.park_until_enqueue(seen, true);
+            rec.span_end("park", 0);
         }
     }
 }
@@ -741,13 +787,21 @@ fn stealing_worker(pool: &AsyncPool<'_>, worker: usize, coord_tx: &Sender<CoordE
 /// One shared-FIFO worker (the [`StealPolicy::SharedFifo`] baseline): every
 /// ready block comes off the injector, exactly like the pre-work-stealing
 /// scheduler. The steal counters stay structurally zero on this path.
-fn fifo_worker(pool: &AsyncPool<'_>, coord_tx: &Sender<CoordEvent>) {
+fn fifo_worker(
+    pool: &AsyncPool<'_>,
+    worker: usize,
+    coord_tx: &Sender<CoordEvent>,
+    tracer: &Tracer,
+) {
+    let mut rec = tracer.recorder(Layer::Runtime, format!("worker-{worker}"), worker as u64);
     while !pool.sched.is_closed() {
         if let Some(block) = pool.sched.pop_injector() {
             pool.sched.took(block);
-            pool.process(block, None, coord_tx);
+            pool.process(block, None, coord_tx, &mut rec);
         } else {
+            rec.span_begin("park", 0);
             pool.sched.park_idle(false);
+            rec.span_end("park", 0);
         }
     }
 }
@@ -782,7 +836,13 @@ impl AsyncPool<'_> {
     /// (`None` on the shared-FIFO path): requeues of `block` itself are
     /// owner-pushes onto that deque, and — when the locality bias is on —
     /// so are the ready dependants of a publish.
-    fn process(&self, block: usize, worker: Option<usize>, coord_tx: &Sender<CoordEvent>) {
+    fn process(
+        &self,
+        block: usize,
+        worker: Option<usize>,
+        coord_tx: &Sender<CoordEvent>,
+        rec: &mut TrackRecorder,
+    ) {
         let mut task = self.tasks[block].lock().unwrap();
         if task.done {
             return;
@@ -794,6 +854,9 @@ impl AsyncPool<'_> {
         self.mailboxes.take_for(block, |src, iteration, values| {
             fresh_data |= task.state.incorporate(src, iteration, values);
         });
+        if fresh_data {
+            rec.instant("take", block as u64);
+        }
 
         let max_iter = self.config.max_iterations as u64;
         // ord: SeqCst — stop gate on the dispatch path
@@ -802,7 +865,12 @@ impl AsyncPool<'_> {
             return;
         }
 
+        // Disabled tracing makes both clock reads return 0 and the push a
+        // no-op branch, so the hot path stays untimed.
+        let iterate_start = rec.now_ns();
         let update_residual = task.state.iterate(self.kernel);
+        let iterate_end = rec.now_ns();
+        rec.span_complete("iterate", iterate_start, iterate_end, block as u64);
         // An update far below ε means the block sits at its local fixed
         // point for its current inputs: with a contracting kernel every
         // further iterate moves it geometrically less, so the total drift
@@ -835,10 +903,12 @@ impl AsyncPool<'_> {
         {
             // ord: stat counter — control-message telemetry
             self.control_messages.fetch_add(1, Ordering::Relaxed);
-            let _ = coord_tx.send(CoordEvent::StateChange {
-                block,
-                converged: task.local.is_converged(),
-            });
+            let converged = task.local.is_converged();
+            rec.instant(
+                if converged { "converge" } else { "deconverge" },
+                block as u64,
+            );
+            let _ = coord_tx.send(CoordEvent::StateChange { block, converged });
         }
 
         // Publish the fresh values on every out-edge, waking the dependants —
@@ -865,6 +935,7 @@ impl AsyncPool<'_> {
                         self.sched.local_pushes.fetch_add(1, Ordering::Relaxed);
                     }
                 });
+            rec.instant("publish", block as u64);
             // ord: stat counter — message-count telemetry
             self.data_messages.fetch_add(out_degree, Ordering::Relaxed);
             self.data_bytes.fetch_add(
@@ -942,7 +1013,9 @@ fn sync_worker(
     data_messages: &AtomicU64,
     data_bytes: &AtomicU64,
     results: &[Mutex<Option<BlockOutcome>>],
+    tracer: &Tracer,
 ) {
+    let mut rec = tracer.recorder(Layer::Runtime, format!("worker-{worker}"), worker as u64);
     let m = kernel.num_blocks();
     let mut states: Vec<BlockState> = (worker..m)
         .step_by(workers.max(1))
@@ -956,12 +1029,16 @@ fn sync_worker(
         // dependency values delivered for the previous iteration — a Jacobi
         // sweep) and publish the new iterates to the dependants' mailboxes.
         for state in states.iter_mut() {
+            let iterate_start = rec.now_ns();
             let residual = state.iterate(kernel);
+            let iterate_end = rec.now_ns();
+            rec.span_complete("iterate", iterate_start, iterate_end, state.id as u64);
             // ord: SeqCst — residual publication for the coordinator's convergence scan
             residuals[state.id].store(residual.to_bits(), Ordering::SeqCst);
             let out_degree = graph.out_neighbours(state.id).len() as u64;
             if out_degree > 0 {
                 mailboxes.publish_from(state.id, state.iteration, &state.values, |_| {});
+                rec.instant("publish", state.id as u64);
                 // ord: stat counter — message-count telemetry
                 data_messages.fetch_add(out_degree, Ordering::Relaxed);
                 data_bytes.fetch_add(
@@ -973,12 +1050,15 @@ fn sync_worker(
         }
         iterations += 1;
         // Barrier A: all publishes of this iteration are visible.
+        rec.span_begin("barrier", iterations);
         barrier.wait();
+        rec.span_end("barrier", iterations);
         // Delivery phase: incorporate everything received for this iteration.
         for state in states.iter_mut() {
             mailboxes.take_for(state.id, |src, iteration, values| {
                 state.incorporate(src, iteration, values);
             });
+            rec.instant("take", state.id as u64);
         }
         // The first worker evaluates the global stopping criterion (the
         // synchronous algorithm checks the true global residual).
@@ -1379,6 +1459,55 @@ mod tests {
             "parked stealers must observe the stop broadcast, took {:?}",
             started.elapsed()
         );
+    }
+
+    #[test]
+    fn traced_async_run_records_runtime_layer_events() {
+        use aiac_obs::TraceConfig;
+        let kernel = RingContraction::new(6);
+        let config = RunConfig::asynchronous(1e-10)
+            .with_streak(4)
+            .with_num_workers(2)
+            .with_tracing(TraceConfig::on());
+        let (report, snap) = ThreadedRuntime::new().run_traced(&kernel, &config);
+        assert!(report.converged);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.layers(), vec![Layer::Runtime]);
+        let names: std::collections::BTreeSet<&str> = snap
+            .tracks
+            .iter()
+            .flat_map(|t| t.ring.iter_in_order().map(|e| e.name))
+            .collect();
+        assert!(names.contains("iterate"), "{names:?}");
+        assert!(names.contains("publish"), "{names:?}");
+        assert!(names.contains("converge"), "{names:?}");
+    }
+
+    #[test]
+    fn traced_sync_run_records_iterate_and_barrier_spans() {
+        use aiac_obs::TraceConfig;
+        let kernel = RingContraction::new(4);
+        let config = RunConfig::synchronous(1e-8)
+            .with_num_workers(2)
+            .with_tracing(TraceConfig::on());
+        let (report, snap) = ThreadedRuntime::new().run_traced(&kernel, &config);
+        assert!(report.converged);
+        let names: std::collections::BTreeSet<&str> = snap
+            .tracks
+            .iter()
+            .flat_map(|t| t.ring.iter_in_order().map(|e| e.name))
+            .collect();
+        assert!(names.contains("iterate"), "{names:?}");
+        assert!(names.contains("barrier"), "{names:?}");
+    }
+
+    #[test]
+    fn untraced_runs_leave_the_snapshot_empty() {
+        let kernel = RingContraction::new(4);
+        let config = RunConfig::asynchronous(1e-10).with_streak(4);
+        let (report, snap) = ThreadedRuntime::new().run_traced(&kernel, &config);
+        assert!(report.converged);
+        assert!(snap.is_empty());
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! The fixed-size trace record.
+//!
+//! An [`Event`] is 40 bytes of plain data: kind, a static name, one or two
+//! timestamps and an integer argument. The name being `&'static str` *by
+//! type* is the static-event-id rule: hot paths can never pay a per-event
+//! `String` allocation, and the `xtask analyze` R8 lint keeps call sites in
+//! the data plane from smuggling one in through the argument.
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (Chrome `ph: "B"`). Pair with [`EventKind::End`].
+    Begin,
+    /// A span closed (Chrome `ph: "E"`).
+    End,
+    /// A whole span in one record (Chrome `ph: "X"`): `time_ns` is the
+    /// start, `extra` the end. Cheaper than a Begin/End pair — one ring
+    /// slot, one push — which is why the block-iterate hot path uses it.
+    Complete,
+    /// A point-in-time marker (Chrome `ph: "i"`).
+    Instant,
+    /// A sampled counter value (Chrome `ph: "C"`): `extra` is the value.
+    Counter,
+}
+
+/// One fixed-size trace record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// What kind of record this is.
+    pub kind: EventKind,
+    /// Static event id. Never a runtime-built string (rule R8).
+    pub name: &'static str,
+    /// Timestamp in nanoseconds — monotonic for real runtimes, virtual for
+    /// the simulated ones.
+    pub time_ns: u64,
+    /// Second operand: end timestamp for [`EventKind::Complete`], sampled
+    /// value for [`EventKind::Counter`], zero otherwise.
+    pub extra: u64,
+    /// Free integer argument (block id, tenant id, victim worker, …).
+    pub arg: u64,
+}
+
+impl Event {
+    /// Builds a record. `const` so event construction can never hide an
+    /// allocation or a clock read.
+    pub const fn new(
+        kind: EventKind,
+        name: &'static str,
+        time_ns: u64,
+        extra: u64,
+        arg: u64,
+    ) -> Self {
+        Event {
+            kind,
+            name,
+            time_ns,
+            extra,
+            arg,
+        }
+    }
+
+    /// Duration of a [`EventKind::Complete`] record, zero for the rest.
+    pub fn duration_ns(&self) -> u64 {
+        match self.kind {
+            EventKind::Complete => self.extra.saturating_sub(self.time_ns),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_plain_data() {
+        // The ring stores events by value; a size creep here multiplies
+        // directly into tracing memory and copy cost.
+        assert!(std::mem::size_of::<Event>() <= 48);
+        let ev = Event::new(EventKind::Complete, "iterate", 10, 25, 3);
+        assert_eq!(ev.duration_ns(), 15);
+        assert_eq!(
+            Event::new(EventKind::Instant, "publish", 5, 0, 0).duration_ns(),
+            0
+        );
+    }
+}

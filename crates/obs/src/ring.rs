@@ -1,0 +1,142 @@
+//! A bounded, newest-wins event ring.
+//!
+//! Each worker (or host, or tenant) owns one [`EventRing`]. A push into a
+//! full ring overwrites the oldest record — tracing must never grow memory
+//! without bound on a long run, and the *end* of a run is where the
+//! interesting events live. Overwrites are counted exactly, so a drop count
+//! of zero certifies the exported trace is complete.
+
+use crate::event::Event;
+
+/// Bounded ring buffer of [`Event`]s that keeps the newest records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Total pushes ever, including overwritten ones.
+    written: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events. Capacity zero is
+    /// legal and drops everything (used by disabled tracers).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            buf: Vec::new(),
+            cap: capacity,
+            written: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest record when full.
+    pub fn push(&mut self, ev: Event) {
+        if self.cap > 0 {
+            if self.buf.len() < self.cap {
+                self.buf.push(ev);
+            } else {
+                // written >= cap here, so this indexes the oldest slot.
+                self.buf[(self.written % self.cap as u64) as usize] = ev;
+            }
+        }
+        self.written += 1;
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was ever pushed *and retained*.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events ever pushed, retained or not.
+    pub fn total_pushed(&self) -> u64 {
+        self.written
+    }
+
+    /// Exactly how many events were overwritten (or, at capacity zero,
+    /// discarded outright).
+    pub fn dropped(&self) -> u64 {
+        self.written - self.buf.len() as u64
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter_in_order(&self) -> impl Iterator<Item = &Event> {
+        let split = if self.buf.len() < self.cap {
+            0
+        } else {
+            (self.written % self.cap.max(1) as u64) as usize
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> Event {
+        Event::new(EventKind::Instant, "tick", t, 0, 0)
+    }
+
+    #[test]
+    fn an_unfilled_ring_keeps_everything_in_order() {
+        let mut ring = EventRing::new(8);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.dropped(), 0);
+        let times: Vec<u64> = ring.iter_in_order().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wrapping_keeps_the_newest_events_and_counts_drops_exactly() {
+        let mut ring = EventRing::new(4);
+        for t in 0..11 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total_pushed(), 11);
+        assert_eq!(ring.dropped(), 7, "11 pushed, 4 retained, 7 overwritten");
+        let times: Vec<u64> = ring.iter_in_order().map(|e| e.time_ns).collect();
+        assert_eq!(
+            times,
+            vec![7, 8, 9, 10],
+            "the newest four survive, oldest first"
+        );
+    }
+
+    #[test]
+    fn wrap_exactly_at_capacity_drops_nothing() {
+        let mut ring = EventRing::new(3);
+        for t in 0..3 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.dropped(), 0);
+        ring.push(ev(3));
+        assert_eq!(ring.dropped(), 1);
+        let times: Vec<u64> = ring.iter_in_order().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn a_zero_capacity_ring_drops_everything_but_still_counts() {
+        let mut ring = EventRing::new(0);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 5);
+        assert_eq!(ring.iter_in_order().count(), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic text rendering of a trace snapshot.
+//!
+//! The summary is the grep-able counterpart of the Chrome export: per
+//! layer and track it lists event counts and drops, and per span name a
+//! log2-bucket duration histogram. Output order is fully determined by
+//! the snapshot (sorted tracks, sorted names), so two identical runs
+//! produce identical text — CI can diff it.
+
+use std::collections::BTreeMap;
+
+use crate::event::EventKind;
+use crate::metrics::Log2Histogram;
+use crate::tracer::TraceSnapshot;
+
+/// Renders `snapshot` as deterministic text.
+pub fn text_summary(snapshot: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace summary: {} events retained, {} dropped, {} tracks\n",
+        snapshot.total_events(),
+        snapshot.total_dropped(),
+        snapshot.tracks.len()
+    ));
+    for track in &snapshot.tracks {
+        out.push_str(&format!(
+            "[{}] {} — {} events ({} dropped)\n",
+            track.layer.cat(),
+            track.name,
+            track.ring.len(),
+            track.ring.dropped()
+        ));
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut durations: BTreeMap<&'static str, Log2Histogram> = BTreeMap::new();
+        for ev in track.ring.iter_in_order() {
+            *counts.entry(ev.name).or_default() += 1;
+            if ev.kind == EventKind::Complete {
+                durations
+                    .entry(ev.name)
+                    .or_default()
+                    .observe(ev.duration_ns());
+            }
+        }
+        for (name, count) in &counts {
+            out.push_str(&format!("  {name:<24} x{count}\n"));
+            if let Some(h) = durations.get(name) {
+                out.push_str(&format!(
+                    "    duration ns: mean {:.0}, max {}, p50<={}, p99<={}\n",
+                    h.mean(),
+                    h.max(),
+                    h.quantile_bound(0.50),
+                    h.quantile_bound(0.99)
+                ));
+                for (bound, n) in h.nonzero_buckets() {
+                    out.push_str(&format!("    <= {bound:>12} ns : {n}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Layer, TraceConfig, Tracer};
+
+    #[test]
+    fn summaries_are_deterministic_and_cover_every_track() {
+        let tracer = Tracer::new(TraceConfig::on());
+        let mut w = tracer.recorder(Layer::Runtime, "worker-0", 0);
+        w.span_complete("iterate", 0, 1_000, 1);
+        w.span_complete("iterate", 1_000, 1_600, 2);
+        w.instant_at("publish", 1_600, 2);
+        w.finish();
+        let mut h = tracer.recorder(Layer::Netsim, "host-3", 3);
+        h.instant_at("msg_arrive", 10, 0);
+        h.finish();
+        let snap = tracer.snapshot();
+
+        let text = text_summary(&snap);
+        assert_eq!(text, text_summary(&snap), "rendering must be deterministic");
+        assert!(text.contains("4 events retained"));
+        assert!(text.contains("[runtime] worker-0"));
+        assert!(text.contains("[netsim] host-3"));
+        assert!(text.contains("iterate"));
+        assert!(text.contains("duration ns"));
+        assert!(text.contains("msg_arrive"));
+    }
+}

@@ -9,6 +9,7 @@
 //! environments would.
 
 use aiac_envs::profile::EnvProfile;
+use aiac_obs::TraceConfig;
 use serde::{Deserialize, Serialize};
 
 /// Default result-cache capacity (distinct (problem, tolerance) keys).
@@ -27,6 +28,10 @@ pub struct ServiceConfig {
     pub drr_quantum: usize,
     /// Result-cache capacity, in distinct structural keys.
     pub cache_capacity: usize,
+    /// Event-tracing knobs forwarded to the observability plane. Off by
+    /// default, in which case every instrumentation site in the replay and
+    /// the real pool reduces to one relaxed atomic load and a branch.
+    pub tracing: TraceConfig,
 }
 
 impl ServiceConfig {
@@ -39,7 +44,14 @@ impl ServiceConfig {
             tenant_queue_depth: knobs.tenant_queue_depth,
             drr_quantum: knobs.drr_quantum,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            tracing: TraceConfig::off(),
         }
+    }
+
+    /// Turns event tracing on/off (builder style).
+    pub fn with_tracing(mut self, tracing: TraceConfig) -> Self {
+        self.tracing = tracing;
+        self
     }
 
     /// Checks the bounds are usable.
@@ -125,9 +137,17 @@ mod tests {
 
     #[test]
     fn configs_round_trip_through_json() {
-        let config = ServiceConfig::default();
+        let config = ServiceConfig::default().with_tracing(TraceConfig::on());
         let text = serde_json::to_string(&config).unwrap();
         let back: ServiceConfig = serde_json::from_str(&text).unwrap();
         assert_eq!(back, config);
+    }
+
+    #[test]
+    fn tracing_defaults_off_and_the_builder_enables_it() {
+        let config = ServiceConfig::default();
+        assert!(!config.tracing.enabled);
+        let traced = config.with_tracing(TraceConfig::on());
+        assert!(traced.tracing.enabled);
     }
 }

@@ -49,6 +49,6 @@ pub use cache::{job_key, CachedSolve, ResultCache};
 pub use config::ServiceConfig;
 pub use drr::{Pending, TenantQueues};
 pub use job::{AdmissionError, JobId, JobResult, JobSpec, ServiceProblem, TenantId};
-pub use service::{run_real_load, JobTicket, SolverService};
-pub use sim::{run_virtual, LoadReport, LoadSpec};
+pub use service::{run_real_load, run_real_load_traced, JobTicket, SolverService};
+pub use sim::{run_virtual, run_virtual_traced, LoadReport, LoadSpec};
 pub use traffic::{Arrival, ProblemMix, SplitMix64, TrafficSpec};

@@ -12,7 +12,7 @@
 //! values and result delivery tolerates a dropped receiver (that is the
 //! `xtask analyze` R7 rule, enforced over this file).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -20,12 +20,13 @@ use std::time::Instant;
 
 use aiac_core::cancel::CancelToken;
 use aiac_core::runtime::{PushError, Steal, StealDeque};
+use aiac_obs::{TraceSnapshot, Tracer, TrackRecorder};
 
 use crate::cache::{job_key, CachedSolve, ResultCache};
 use crate::config::ServiceConfig;
 use crate::drr::{Pending, TenantQueues};
-use crate::job::{self, AdmissionError, JobId, JobResult, JobSpec};
-use crate::sim::LoadReport;
+use crate::job::{self, AdmissionError, JobId, JobResult, JobSpec, TenantId};
+use crate::sim::{tenant_track, LoadReport};
 use crate::traffic::TrafficSpec;
 
 /// What a successful submission hands back: the job's id and a handle that
@@ -424,6 +425,22 @@ impl Drop for SolverService {
 /// wall-clock and therefore *not* gateable — the virtual-clock twin in
 /// [`crate::sim`] owns the deterministic metrics.
 pub fn run_real_load(config: &ServiceConfig, traffic: &TrafficSpec) -> LoadReport {
+    run_real_load_traced(config, traffic).0
+}
+
+/// Like [`run_real_load`], also returning the event trace: per-tenant
+/// [`aiac_obs::Layer::Service`] tracks recorded on the driver thread —
+/// admission verdicts at submission time and one wall-clock lifecycle span
+/// per completed job (reconstructed from the result's latency, so the
+/// workers themselves stay untouched by tracing). Empty (and free) when
+/// `config.tracing` is off.
+pub fn run_real_load_traced(
+    config: &ServiceConfig,
+    traffic: &TrafficSpec,
+) -> (LoadReport, TraceSnapshot) {
+    let tracer = Tracer::new(config.tracing);
+    let traced = tracer.is_enabled();
+    let mut recorders: BTreeMap<TenantId, TrackRecorder> = BTreeMap::new();
     let service = SolverService::start_paused(*config);
     let arrivals = traffic.generate();
     let started = Instant::now();
@@ -451,25 +468,32 @@ pub fn run_real_load(config: &ServiceConfig, traffic: &TrafficSpec) -> LoadRepor
             .per_tenant_submitted
             .entry(arrival.spec.tenant)
             .or_default() += 1;
-        match service.submit(arrival.spec.clone()) {
+        let verdict = match service.submit(arrival.spec.clone()) {
             Ok(_ticket) => {
                 admitted += 1;
                 *report
                     .per_tenant_admitted
                     .entry(arrival.spec.tenant)
                     .or_default() += 1;
+                "admit"
             }
             Err(AdmissionError::TenantQueueFull { .. }) => {
                 report.rejected += 1;
                 report.rejected_tenant_full += 1;
+                "reject_tenant_full"
             }
             Err(AdmissionError::InFlightLimit { .. }) => {
                 report.rejected += 1;
                 report.rejected_in_flight += 1;
+                "reject_in_flight"
             }
             Err(AdmissionError::Closed) => {
                 report.rejected += 1;
+                "reject_closed"
             }
+        };
+        if traced {
+            tenant_track(&mut recorders, &tracer, arrival.spec.tenant).instant(verdict, admitted);
         }
     }
     // Everything is queued and nothing has run: the peak is exact here.
@@ -485,15 +509,26 @@ pub fn run_real_load(config: &ServiceConfig, traffic: &TrafficSpec) -> LoadRepor
             break;
         };
         report.completed += 1;
-        report.latencies.push(result.latency_secs.max(0.0));
+        let latency = result.latency_secs.max(0.0);
+        report.latencies.push(latency);
         *report.per_tenant_goodput.entry(result.tenant).or_default() += 1;
+        if traced {
+            // Reconstruct the lifecycle span from the result's own latency:
+            // the workers stay untouched by tracing, and the driver thread
+            // remains the single writer of every tenant track.
+            let end_ns = tracer.now_ns();
+            let start_ns = end_ns.saturating_sub((latency * 1e9).round() as u64);
+            tenant_track(&mut recorders, &tracer, result.tenant)
+                .span_complete("job", start_ns, end_ns, result.job);
+        }
     }
     report.makespan_secs = started.elapsed().as_secs_f64();
     let (hits, misses) = service.cache_stats();
     report.cache_hits = hits;
     report.cache_misses = misses;
     service.shutdown();
-    report
+    drop(recorders);
+    (report, tracer.snapshot())
 }
 
 #[cfg(test)]
@@ -509,6 +544,7 @@ mod tests {
             tenant_queue_depth: 512,
             drr_quantum: 4,
             cache_capacity: 64,
+            ..ServiceConfig::default()
         }
     }
 
@@ -561,6 +597,7 @@ mod tests {
             tenant_queue_depth: 8,
             drr_quantum: 1,
             cache_capacity: 0,
+            ..ServiceConfig::default()
         };
         let service = SolverService::start(config);
         let rx = service.take_results().unwrap();
@@ -580,6 +617,7 @@ mod tests {
             tenant_queue_depth: 4,
             drr_quantum: 1,
             cache_capacity: 4,
+            ..ServiceConfig::default()
         };
         let service = SolverService::start_paused(config);
         for i in 0..4 {
@@ -599,6 +637,7 @@ mod tests {
             tenant_queue_depth: 2,
             drr_quantum: 1,
             cache_capacity: 4,
+            ..ServiceConfig::default()
         };
         let service = SolverService::start_paused(config);
         service.submit(cheap_job(0)).unwrap();
@@ -649,6 +688,7 @@ mod tests {
             tenant_queue_depth: 32,
             drr_quantum: 1,
             cache_capacity: 8,
+            ..ServiceConfig::default()
         };
         let service = SolverService::start_paused(config);
         for _ in 0..10 {
@@ -691,5 +731,32 @@ mod tests {
         assert!(report.peak_in_flight <= report.in_flight_bound);
         assert!(report.makespan_secs > 0.0);
         assert_eq!(report.latencies.len() as u64, report.completed);
+    }
+
+    #[test]
+    fn traced_real_loads_record_admission_and_job_spans_per_tenant() {
+        let traffic = TrafficSpec {
+            jobs: 60,
+            initial_burst: 20,
+            ..TrafficSpec::smoke()
+        };
+        let config = small_config().with_tracing(aiac_obs::TraceConfig::on());
+        let (report, trace) = run_real_load_traced(&config, &traffic);
+        assert_eq!(report.lost(), 0);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.layers(), vec![aiac_obs::Layer::Service]);
+        let names: std::collections::BTreeSet<&str> = trace
+            .tracks
+            .iter()
+            .flat_map(|t| t.ring.iter_in_order().map(|e| e.name))
+            .collect();
+        assert!(names.contains("admit"));
+        assert!(names.contains("job"));
+        // one track per submitting tenant, all on the driver thread
+        assert_eq!(trace.tracks.len(), report.per_tenant_submitted.len());
+
+        // tracing off leaves no trace at all
+        let (_, off) = run_real_load_traced(&small_config(), &traffic);
+        assert!(off.is_empty());
     }
 }

@@ -15,6 +15,7 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BTreeMap, BinaryHeap};
 
+use aiac_obs::{Layer, MetricDirection, MetricsRegistry, TraceSnapshot, Tracer, TrackRecorder};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{job_key, CachedSolve, ResultCache};
@@ -134,6 +135,96 @@ impl LoadReport {
             .saturating_sub(self.completed)
             .saturating_sub(self.rejected)
     }
+
+    /// The report's derived gauges and bookkeeping counters as a
+    /// [`MetricsRegistry`] — the one list the bench harness renders metric
+    /// samples from, so a new counter becomes a bench metric by being
+    /// registered here.
+    ///
+    /// `deterministic` is true for the virtual-clock replay, whose every
+    /// number is a pure function of the [`LoadSpec`]; the real pool's
+    /// throughput and makespan are wall-clock and keep the `real_` names
+    /// committed in the bench baselines. The bookkeeping counters (jobs,
+    /// peak in-flight, cache traffic) replay identically on both cells and
+    /// stay informational.
+    pub fn metrics_registry(&self, deterministic: bool) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        if deterministic {
+            registry.gauge(
+                "throughput_jobs_per_sec",
+                self.throughput(),
+                true,
+                MetricDirection::HigherIsBetter,
+            );
+            registry.gauge(
+                "fairness_ratio",
+                self.fairness_ratio(),
+                true,
+                MetricDirection::LowerIsBetter,
+            );
+            registry.gauge(
+                "cache_hit_rate",
+                self.cache_hit_rate(),
+                true,
+                MetricDirection::HigherIsBetter,
+            );
+            registry.gauge(
+                "rejection_rate",
+                self.rejection_rate(),
+                true,
+                MetricDirection::LowerIsBetter,
+            );
+            registry.gauge(
+                "makespan_secs",
+                self.makespan_secs,
+                true,
+                MetricDirection::LowerIsBetter,
+            );
+        } else {
+            registry.gauge(
+                "real_throughput_jobs_per_sec",
+                self.throughput(),
+                false,
+                MetricDirection::HigherIsBetter,
+            );
+            registry.gauge(
+                "real_makespan_secs",
+                self.makespan_secs,
+                false,
+                MetricDirection::LowerIsBetter,
+            );
+        }
+        for (name, value) in [
+            ("jobs_generated", self.generated),
+            ("jobs_completed", self.completed),
+            ("jobs_rejected", self.rejected),
+            ("peak_in_flight", self.peak_in_flight),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+        ] {
+            registry.counter(name, value, true, MetricDirection::Informational);
+        }
+        registry
+    }
+}
+
+/// Virtual seconds → the tracer's nanosecond timeline (a pure function of
+/// the deterministic clock, so traced replays export bit-identically).
+fn svc_ns(secs: f64) -> u64 {
+    (secs * 1e9).round() as u64
+}
+
+/// The per-tenant track for `tenant`, created on first use. One `String`
+/// allocation per tenant per run — never on the per-event path. Shared
+/// with the real pool's replay in [`crate::service`].
+pub(crate) fn tenant_track<'t>(
+    recorders: &'t mut BTreeMap<TenantId, TrackRecorder>,
+    tracer: &Tracer,
+    tenant: TenantId,
+) -> &'t mut TrackRecorder {
+    recorders.entry(tenant).or_insert_with(|| {
+        tracer.recorder(Layer::Service, format!("tenant-{tenant}"), tenant as u64)
+    })
 }
 
 /// A job executing on a simulated worker, keyed for the completion heap.
@@ -169,9 +260,21 @@ impl Ord for Executing {
 
 /// Replays `spec` on the virtual clock and reports what happened.
 pub fn run_virtual(spec: &LoadSpec) -> LoadReport {
+    run_virtual_traced(spec).0
+}
+
+/// Like [`run_virtual`], also returning the event trace: one
+/// [`Layer::Service`] track per tenant carrying job lifecycle spans,
+/// admission verdicts, DRR dispatch turns and cache hits/misses on the
+/// virtual clock. Empty (and free) when `spec.service.tracing` is off;
+/// bit-identical across runs when it is on.
+pub fn run_virtual_traced(spec: &LoadSpec) -> (LoadReport, TraceSnapshot) {
     spec.service
         .validate()
         .unwrap_or_else(|why| panic!("invalid service config: {why}"));
+    let tracer = Tracer::new(spec.service.tracing);
+    let traced = tracer.is_enabled();
+    let mut recorders: BTreeMap<TenantId, TrackRecorder> = BTreeMap::new();
     let arrivals = spec.traffic.generate();
     let mut queues = TenantQueues::new(spec.service.tenant_queue_depth, spec.service.drr_quantum);
     let mut cache = ResultCache::new(spec.service.cache_capacity);
@@ -223,6 +326,14 @@ pub fn run_virtual(spec: &LoadSpec) -> LoadReport {
             report.latencies.push(now - done.arrival_secs);
             *report.per_tenant_goodput.entry(done.tenant).or_default() += 1;
             report.makespan_secs = now;
+            if traced {
+                tenant_track(&mut recorders, &tracer, done.tenant).span_complete(
+                    "job",
+                    svc_ns(done.arrival_secs),
+                    svc_ns(now),
+                    done.seq,
+                );
+            }
         } else {
             let arrival = &arrivals[next_arrival];
             next_arrival += 1;
@@ -234,6 +345,13 @@ pub fn run_virtual(spec: &LoadSpec) -> LoadReport {
             if in_flight >= spec.service.max_in_flight as u64 {
                 report.rejected += 1;
                 report.rejected_in_flight += 1;
+                if traced {
+                    tenant_track(&mut recorders, &tracer, arrival.spec.tenant).instant_at(
+                        "reject_in_flight",
+                        svc_ns(now),
+                        in_flight,
+                    );
+                }
             } else {
                 let pending = Pending {
                     id: seq,
@@ -248,10 +366,24 @@ pub fn run_virtual(spec: &LoadSpec) -> LoadReport {
                             .per_tenant_admitted
                             .entry(arrival.spec.tenant)
                             .or_default() += 1;
+                        if traced {
+                            tenant_track(&mut recorders, &tracer, arrival.spec.tenant).instant_at(
+                                "admit",
+                                svc_ns(now),
+                                in_flight,
+                            );
+                        }
                     }
                     Err(AdmissionError::TenantQueueFull { .. }) => {
                         report.rejected += 1;
                         report.rejected_tenant_full += 1;
+                        if traced {
+                            tenant_track(&mut recorders, &tracer, arrival.spec.tenant).instant_at(
+                                "reject_tenant_full",
+                                svc_ns(now),
+                                in_flight,
+                            );
+                        }
                     }
                     Err(other) => unreachable!("virtual admission cannot fail with {other}"),
                 }
@@ -264,23 +396,32 @@ pub fn run_virtual(spec: &LoadSpec) -> LoadReport {
                 break;
             };
             let key = job_key(&pending.spec);
-            let duration = match cache.lookup(key) {
-                Some(_) => spec.cache_hit_cost_secs,
-                None => {
-                    let outcome = job::solve(&pending.spec, None);
-                    let duration = outcome.virtual_cost_secs;
-                    cache.insert(
-                        key,
-                        CachedSolve {
-                            converged: outcome.converged,
-                            sweeps: outcome.sweeps,
-                            final_residual: outcome.final_residual,
-                            virtual_cost_secs: outcome.virtual_cost_secs,
-                            solution: outcome.solution,
-                        },
-                    );
-                    duration
-                }
+            let hit = cache.lookup(key).is_some();
+            if traced {
+                let track = tenant_track(&mut recorders, &tracer, pending.spec.tenant);
+                track.instant_at("drr_turn", svc_ns(now), pending.id);
+                track.instant_at(
+                    if hit { "cache_hit" } else { "cache_miss" },
+                    svc_ns(now),
+                    pending.id,
+                );
+            }
+            let duration = if hit {
+                spec.cache_hit_cost_secs
+            } else {
+                let outcome = job::solve(&pending.spec, None);
+                let duration = outcome.virtual_cost_secs;
+                cache.insert(
+                    key,
+                    CachedSolve {
+                        converged: outcome.converged,
+                        sweeps: outcome.sweeps,
+                        final_residual: outcome.final_residual,
+                        virtual_cost_secs: outcome.virtual_cost_secs,
+                        solution: outcome.solution,
+                    },
+                );
+                duration
             };
             free_workers -= 1;
             seq += 1;
@@ -295,7 +436,8 @@ pub fn run_virtual(spec: &LoadSpec) -> LoadReport {
 
     report.cache_hits = cache.hits();
     report.cache_misses = cache.misses();
-    report
+    drop(recorders);
+    (report, tracer.snapshot())
 }
 
 #[cfg(test)]
@@ -415,6 +557,62 @@ mod tests {
     }
 
     #[test]
+    fn traced_replays_are_bit_identical_and_carry_service_events() {
+        let mut spec = smoke_spec();
+        spec.service.tracing = aiac_obs::TraceConfig::on();
+        let (report_a, trace_a) = run_virtual_traced(&spec);
+        let (report_b, trace_b) = run_virtual_traced(&spec);
+        assert_eq!(report_a, report_b);
+        assert_eq!(trace_a, trace_b, "virtual-clock traces must reproduce");
+        assert!(!trace_a.is_empty());
+        assert_eq!(trace_a.layers(), vec![Layer::Service]);
+        let names: std::collections::BTreeSet<&str> = trace_a
+            .tracks
+            .iter()
+            .flat_map(|t| t.ring.iter_in_order().map(|e| e.name))
+            .collect();
+        for required in ["job", "admit", "drr_turn", "cache_hit", "cache_miss"] {
+            assert!(names.contains(required), "missing event {required:?}");
+        }
+        // the untraced run sees none of it
+        let (_, off) = run_virtual_traced(&smoke_spec());
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn the_metrics_registry_keeps_the_baseline_names() {
+        let report = run_virtual(&smoke_spec());
+        let virt = report.metrics_registry(true);
+        let names: Vec<&str> = virt.snapshot().iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            [
+                "throughput_jobs_per_sec",
+                "fairness_ratio",
+                "cache_hit_rate",
+                "rejection_rate",
+                "makespan_secs",
+                "jobs_generated",
+                "jobs_completed",
+                "jobs_rejected",
+                "peak_in_flight",
+                "cache_hits",
+                "cache_misses",
+            ]
+        );
+        assert!(virt.get("throughput_jobs_per_sec").unwrap().deterministic);
+        let real = report.metrics_registry(false);
+        assert!(real.get("real_makespan_secs").is_some());
+        assert!(
+            !real
+                .get("real_throughput_jobs_per_sec")
+                .unwrap()
+                .deterministic
+        );
+        assert!(real.get("jobs_generated").unwrap().deterministic);
+    }
+
+    #[test]
     fn load_specs_round_trip_through_json() {
         let spec = smoke_spec();
         let text = serde_json::to_string(&spec).unwrap();
@@ -441,6 +639,7 @@ mod tests {
                 tenant_queue_depth: depth.min(max_in_flight),
                 drr_quantum: 2,
                 cache_capacity: 16,
+                ..ServiceConfig::default()
             };
             let traffic = TrafficSpec {
                 seed,

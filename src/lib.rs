@@ -13,7 +13,9 @@
 //! * [`solvers`] — the two benchmark problems of the paper (banded sparse
 //!   linear systems and the 2-species advection–diffusion chemical problem);
 //! * [`service`] — the multi-tenant solver service (tenant queues, DRR
-//!   fairness, admission control, result caching) over the shared pool.
+//!   fairness, admission control, result caching) over the shared pool;
+//! * [`obs`] — the observability plane: per-worker event rings, the unified
+//!   metrics registry, and the deterministic Chrome trace-event exporter.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -24,6 +26,7 @@ pub use aiac_core as core;
 pub use aiac_envs as envs;
 pub use aiac_linalg as linalg;
 pub use aiac_netsim as netsim;
+pub use aiac_obs as obs;
 pub use aiac_service as service;
 pub use aiac_solvers as solvers;
 
@@ -36,6 +39,7 @@ pub mod prelude {
     pub use aiac_envs::env::EnvKind;
     pub use aiac_linalg::{BandedSpec, CsrMatrix, Partition};
     pub use aiac_netsim::topology::GridTopology;
+    pub use aiac_obs::{MetricsRegistry, TraceConfig, TraceSnapshot, Tracer};
     pub use aiac_service::{JobSpec, ServiceConfig, SolverService};
     pub use aiac_solvers::sparse_linear::SparseLinearProblem;
 }

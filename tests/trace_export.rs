@@ -1,0 +1,79 @@
+//! Locks down the observability plane's export determinism: a virtual-clock
+//! simulated run traces on the simulation clock, so its Chrome trace-event
+//! export must be *bit-identical* — across repetitions in this process and
+//! against the golden file committed in `tests/golden/`.
+//!
+//! If an intentional change to the instrumentation or the exporter shifts
+//! the output, regenerate the golden with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test trace_export
+//! ```
+
+use aiac::core::config::RunConfig;
+use aiac::core::runtime::simulated::SimulatedRuntime;
+use aiac::envs::env::EnvKind;
+use aiac::envs::threads::ProblemKind;
+use aiac::netsim::topology::GridTopology;
+use aiac::obs::{to_chrome_json, validate_chrome_trace, Layer, TraceConfig};
+use aiac::solvers::sparse_linear::{SparseLinearParams, SparseLinearProblem};
+
+const GOLDEN_PATH: &str = "tests/golden/simulated_trace.json";
+
+/// The pinned workload: a small sparse system on the 3-site Ethernet grid
+/// under the PM2 cost model, asynchronous, traced on the virtual clock.
+fn traced_export() -> String {
+    let problem = SparseLinearProblem::new(SparseLinearParams::paper_scaled(60, 3));
+    // A small ring keeps the golden file a few hundred events: overwrite
+    // behaviour is deterministic (newest win, drops counted), so bounding
+    // the rings does not cost reproducibility.
+    let config = RunConfig::asynchronous(1e-6)
+        .with_streak(3)
+        .with_tracing(TraceConfig::on().with_ring_capacity(128));
+    let runtime = SimulatedRuntime::new(
+        GridTopology::ethernet_3_sites(3),
+        EnvKind::Pm2,
+        ProblemKind::SparseLinear,
+    );
+    let outcome = runtime.run(&problem, &config);
+    assert!(
+        outcome.report.converged,
+        "the pinned workload must converge"
+    );
+    assert_eq!(
+        outcome.obs_trace.layers(),
+        vec![Layer::Netsim],
+        "a simulated run traces netsim host timelines only"
+    );
+    to_chrome_json(&outcome.obs_trace)
+}
+
+#[test]
+fn the_simulated_chrome_export_is_bit_identical_across_runs() {
+    let first = traced_export();
+    let second = traced_export();
+    assert_eq!(
+        first, second,
+        "virtual-clock exports must not differ between repetitions"
+    );
+    let stats = validate_chrome_trace(&first).expect("the export must satisfy the trace schema");
+    assert!(stats.events > 0, "the traced run must record events");
+    assert!(stats.layers.contains("netsim"));
+}
+
+#[test]
+fn the_simulated_chrome_export_matches_the_committed_golden() {
+    let json = traced_export();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).expect("golden file must be writable");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run UPDATE_GOLDEN=1 cargo test --test trace_export");
+    assert_eq!(
+        json, golden,
+        "the export drifted from {GOLDEN_PATH}; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 cargo test --test trace_export"
+    );
+}

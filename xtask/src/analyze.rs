@@ -32,13 +32,19 @@
 //!   that touches a job-queue send/receive path (send, recv, enqueue,
 //!   dequeue, submit, push_back, pop_front): admission and delivery failures
 //!   must propagate as typed backpressure errors, not panics.
+//! * **R8 `static-trace-events`** — trace emits in the data-plane files
+//!   (`span_begin`/`span_end`/`span_complete`/`instant`/`counter` calls)
+//!   never allocate on the same line (`format!`, `.to_string()`,
+//!   `String::from`, `.to_owned()`): event names are `&'static str` by
+//!   construction, and the only tolerated allocation is the once-per-worker
+//!   track name passed to `tracer.recorder(...)`, which is not an emit.
 //!
 //! `cargo xtask analyze --self-test` seeds one bug per class into a scratch
 //! copy of the tree — a weakened memory ordering, a dropped reclamation, a
 //! lost-element deque edit, an unjustified copy, a stray `unsafe`, a deleted
-//! annotation, a panicking queue path — and asserts the matching layer
-//! (model checker or lint) catches each one, then restores the copy and
-//! asserts it is green again.
+//! annotation, a panicking queue path, an allocating hot-path trace emit —
+//! and asserts the matching layer (model checker or lint) catches each one,
+//! then restores the copy and asserts it is green again.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -394,6 +400,7 @@ fn lint_tree(root: &Path) -> Result<Vec<Violation>, String> {
     rule_no_sleep_no_blind_spin(&views, &mut violations);
     rule_no_silent_copies(&views, &mut violations);
     rule_atomics_via_facade(&views, &mut violations);
+    rule_static_trace_events(&views, &mut violations);
 
     // The service crate gets its own view map: feeding it into `views` would
     // perturb the core-only unsafe and ordering pins of R1/R2.
@@ -594,6 +601,46 @@ fn rule_atomics_via_facade(views: &BTreeMap<String, FileView>, out: &mut Vec<Vio
     }
 }
 
+/// R8: data-plane trace emits never allocate. The observability crate makes
+/// event names `&'static str` by construction; this rule keeps the *call
+/// sites* honest too — no `format!`-built name leaked to `'static`, no
+/// `.to_string()` feeding an argument, on any line that emits an event in
+/// the hot files. The once-per-worker track name handed to
+/// `tracer.recorder(...)` may allocate; `recorder` is not an emit token.
+fn rule_static_trace_events(views: &BTreeMap<String, FileView>, out: &mut Vec<Violation>) {
+    const EMIT_TOKENS: [&str; 7] = [
+        ".span_begin(",
+        ".span_end(",
+        ".span_complete(",
+        ".instant(",
+        ".instant_at(",
+        ".counter(",
+        ".counter_at(",
+    ];
+    const ALLOC_TOKENS: [&str; 4] = ["format!", ".to_string()", "String::from", ".to_owned()"];
+    for rel in DATA_PLANE {
+        let Some(view) = views.get(rel) else { continue };
+        for (i, line) in view.code.iter().enumerate() {
+            if view.is_test(i) {
+                continue;
+            }
+            if EMIT_TOKENS.iter().any(|t| line.contains(t))
+                && ALLOC_TOKENS.iter().any(|t| line.contains(t))
+            {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: "R8",
+                    msg: "allocating trace emit on a data-plane path (event names are \
+                          static by construction; build dynamic context into the `arg`, \
+                          not the name)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
 /// R7: the service's job-queue send/receive paths never panic on failure.
 /// A full tenant queue, a closed results channel or a saturated pool are
 /// expected conditions under load; they must surface as typed backpressure
@@ -716,6 +763,13 @@ fn mutations() -> Vec<Mutation> {
             find: "let _ = self.results_tx.send(result);",
             replace: "self.results_tx.send(result).unwrap();",
             catcher: Catcher::Lint("R7"),
+        },
+        Mutation {
+            name: "M8 allocating-trace-emit (publish instant builds its name with format!)",
+            file: "crates/core/src/runtime/threaded.rs",
+            find: "rec.instant(\"publish\", block as u64);",
+            replace: "rec.instant(format!(\"publish-{block}\").leak(), block as u64);",
+            catcher: Catcher::Lint("R8"),
         },
     ]
 }
